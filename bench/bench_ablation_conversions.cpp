@@ -1,0 +1,99 @@
+// E17 — ablation: on-fiber (no input OEO) vs Lightning-style
+// convert-at-every-hop photonic computing.
+//
+// The paper's §2.2 second claim: "on-fiber computing does not require
+// constant digital-to-analog conversions, thus saving energy and chip
+// area". We run the same multi-hop compute chain in both engine modes and
+// count conversions, energy, and added latency per hop.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/compute_packets.hpp"
+#include "core/photonic_engine.hpp"
+
+using namespace onfiber;
+using namespace onfiber::bench;
+
+namespace {
+
+struct chain_cost {
+  std::uint64_t conversions = 0;
+  double energy_j = 0.0;
+  double optical_energy_j = 0.0;
+  double latency_s = 0.0;
+};
+
+/// Run a GEMV compute at `hops` consecutive sites (each hop re-computes a
+/// fresh task on the same-size data — e.g. a pipeline of DNN stages
+/// spread over the WAN, §5 "distributed on-fiber photonic computing").
+chain_cost run_chain(core::compute_mode mode, int hops, std::size_t dim) {
+  chain_cost cost;
+  core::gemv_task task;
+  task.weights = phot::matrix(dim, dim);
+  for (double& w : task.weights.data) w = 0.1;
+
+  for (int hop = 0; hop < hops; ++hop) {
+    phot::energy_ledger ledger;
+    core::engine_config cfg;
+    cfg.mode = mode;
+    core::photonic_engine engine(cfg, 100 + static_cast<std::uint64_t>(hop),
+                                 &ledger);
+    engine.configure_gemv(task);
+    const std::vector<double> x(dim, 0.5);
+    net::packet pkt = core::make_gemv_request(
+        net::ipv4(10, 0, 0, 2), net::ipv4(10, 3, 0, 2), x, dim);
+    const auto rep = engine.process(pkt);
+    cost.conversions += rep.input_conversions;
+    cost.energy_j += ledger.total_joules();
+    cost.optical_energy_j += ledger.joules("photonic_mac");
+    cost.latency_s += rep.compute_latency_s;
+  }
+  return cost;
+}
+
+}  // namespace
+
+int main() {
+  banner("E17 / ablation",
+         "on-fiber vs OEO-per-hop photonic computing (Sec. 2.2 claim 2)");
+
+  constexpr std::size_t dim = 32;
+  note("workload: 32x32 GEMV computed at each of N consecutive sites");
+  std::printf("  %6s | %14s %14s | %14s %14s\n", "hops", "conv on-fiber",
+              "conv OEO", "E on-fiber", "E OEO");
+  for (const int hops : {1, 2, 4, 8}) {
+    const chain_cost on = run_chain(core::compute_mode::on_fiber, hops, dim);
+    const chain_cost oeo =
+        run_chain(core::compute_mode::oeo_per_hop, hops, dim);
+    std::printf("  %6d | %14llu %14llu | %14s %14s\n", hops,
+                static_cast<unsigned long long>(on.conversions),
+                static_cast<unsigned long long>(oeo.conversions),
+                fmt_energy(on.energy_j).c_str(),
+                fmt_energy(oeo.energy_j).c_str());
+  }
+
+  note("");
+  note("per-hop breakdown at 4 hops");
+  {
+    const chain_cost on = run_chain(core::compute_mode::on_fiber, 4, dim);
+    const chain_cost oeo = run_chain(core::compute_mode::oeo_per_hop, 4, dim);
+    std::printf("  input-side conversions saved : %llu\n",
+                static_cast<unsigned long long>(oeo.conversions -
+                                                on.conversions));
+    std::printf("  energy saved                 : %s (%.1f%% of OEO total)\n",
+                fmt_energy(oeo.energy_j - on.energy_j).c_str(),
+                100.0 * (oeo.energy_j - on.energy_j) / oeo.energy_j);
+    std::printf("  optical compute energy (same): %s vs %s\n",
+                fmt_energy(on.optical_energy_j).c_str(),
+                fmt_energy(oeo.optical_energy_j).c_str());
+  }
+
+  note("");
+  note("chip-area proxy: converters needed on the compute input path");
+  note("  on-fiber     : 0 input DAC/ADC (reuses the transit signal)");
+  note("  OEO-per-hop  : 1 ADC + 1 DAC bank per engine (Lightning [71])");
+
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// E22 — convolutional processing on the photonic tensor core (the P1
+// workload of Feldmann et al. [19], which the paper's Fig. 2a cites).
+//
+// Accuracy of photonic conv vs float, throughput vs WDM lane count, and
+// the role of kernel-bank parallelism (one GEMV evaluates every kernel).
+#include <cstdio>
+
+#include "apps/convolution.hpp"
+#include "apps/ml_inference.hpp"
+#include "apps/photonic_cnn.hpp"
+#include "bench_util.hpp"
+
+using namespace onfiber;
+using namespace onfiber::bench;
+
+int main() {
+  banner("E22 / ref [19]", "photonic tensor-core convolution");
+
+  const apps::frame image = apps::make_synthetic_frame(32, 32, 5);
+
+  // ---- accuracy -------------------------------------------------------------
+  note("feature-map accuracy vs float reference (32x32 image)");
+  std::printf("  %-24s %10s %16s\n", "kernel bank", "kernels",
+              "mean abs error");
+  {
+    const auto edge = apps::make_edge_kernel_bank();
+    const auto ref = apps::conv2d_reference(image, edge);
+    phot::wdm_gemv_engine engine({}, 4, 42);
+    const auto pho = apps::conv2d_photonic(image, edge, engine);
+    std::printf("  %-24s %10zu %16.4f\n", "edge/texture 3x3",
+                edge.kernels.size(), apps::feature_error(ref, pho));
+  }
+  {
+    const auto gabor = apps::make_gabor_kernel_bank(5, 6, 7);
+    const auto ref = apps::conv2d_reference(image, gabor);
+    phot::wdm_gemv_engine engine({}, 6, 43);
+    const auto pho = apps::conv2d_photonic(image, gabor, engine);
+    std::printf("  %-24s %10zu %16.4f\n", "Gabor 5x5, 6 orient.",
+                gabor.kernels.size(), apps::feature_error(ref, pho));
+  }
+
+  // ---- throughput vs lanes -----------------------------------------------------
+  note("");
+  note("conv throughput vs WDM lanes (edge bank, 32x32 image)");
+  std::printf("  %8s %16s %18s\n", "lanes", "analog time",
+              "Mpixel/s (output)");
+  const auto edge = apps::make_edge_kernel_bank();
+  const double out_pixels = 30.0 * 30.0;
+  for (const std::size_t lanes : {1u, 2u, 5u}) {
+    phot::wdm_gemv_engine engine({}, lanes, 44);
+    const auto pho = apps::conv2d_photonic(image, edge, engine);
+    std::printf("  %8zu %16s %18.2f\n", lanes,
+                fmt_time(pho.latency_s).c_str(),
+                out_pixels / pho.latency_s / 1e6);
+  }
+  note("  (5 kernels: >= 5 lanes evaluates the whole bank concurrently per");
+  note("   patch — the wavelength-parallel tensor core of [19])");
+
+  // ---- demux crosstalk ---------------------------------------------------
+  note("");
+  note("feature error vs demux isolation (adjacent-lane crosstalk)");
+  std::printf("  %16s %16s\n", "isolation [dB]", "mean abs error");
+  {
+    const auto ref = apps::conv2d_reference(image, edge);
+    for (const double xt : {-100.0, -30.0, -20.0, -13.0}) {
+      phot::wdm_gemv_engine engine({}, 5, 45, nullptr, {}, xt);
+      const auto pho = apps::conv2d_photonic(image, edge, engine);
+      std::printf("  %16.0f %16.4f\n", xt, apps::feature_error(ref, pho));
+    }
+    note("  (AWG-class -30 dB isolation costs nothing; errors appear only");
+    note("   below ~-20 dB — lane parallelism is physically safe)");
+  }
+
+  // ---- end-to-end photonic CNN ---------------------------------------------
+  note("");
+  note("end-to-end photonic image recognition (Fig. 1's use case):");
+  note("conv bank on the tensor core -> pooled features -> P1+P3 DNN head");
+  {
+    const auto data = apps::make_image_dataset(12, 12, 12, 7);
+    const auto cnn = apps::train_photonic_cnn(data, 16, 40, 11);
+    const auto ref = apps::evaluate_cnn_reference(cnn, data);
+    phot::wdm_gemv_engine conv({}, 5, 42);
+    core::photonic_engine head({}, 43);
+    head.configure_dnn(apps::to_photonic_task(cnn.head));
+    const auto pho = apps::evaluate_cnn_photonic(cnn, data, conv, head);
+    std::printf("  %-28s %10s %16s\n", "pipeline", "accuracy",
+                "analog / image");
+    std::printf("  %-28s %9.1f%% %16s\n", "float reference",
+                100.0 * ref.accuracy, "-");
+    std::printf("  %-28s %9.1f%% %16s\n", "fully photonic",
+                100.0 * pho.accuracy,
+                fmt_time(pho.mean_latency_s).c_str());
+    std::printf("  (48 images, 4 texture classes, %zu features)\n",
+                cnn.feature_dim());
+  }
+
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// E26 — end-to-end robustness: inference service quality vs residual
+// link bit-error rate.
+//
+// Connects the physical layer to the application: post-FEC bit errors
+// corrupt compute packets in flight; header corruption is caught by the
+// checksum (packet dropped, §3 protocol), payload corruption flows into
+// the analog computation. Measures delivery rate, detected-drop rate and
+// end accuracy across BER.
+#include <cstdio>
+
+#include "apps/ml_inference.hpp"
+#include "bench_util.hpp"
+#include "core/compute_packets.hpp"
+#include "core/runtime.hpp"
+#include "digital/dnn.hpp"
+
+using namespace onfiber;
+using namespace onfiber::bench;
+
+int main() {
+  banner("E26 / robustness", "inference quality vs residual link BER");
+
+  const auto data = digital::make_synthetic_dataset(16, 4, 30, 0.08, 7);
+  const auto model =
+      digital::train_mlp(data, {12}, 40, 0.08, 11,
+                         digital::activation_kind::photonic_sin2, 2.0);
+
+  note("120 inference packets A -> D (Fig. 1 WAN, DNN at site C)");
+  std::printf("  %12s %12s %14s %14s %12s\n", "BER", "delivered",
+              "header drops", "right class", "accuracy");
+  for (const double ber : {0.0, 1e-6, 1e-5, 1e-4, 1e-3}) {
+    net::simulator sim;
+    core::onfiber_runtime rt(sim, net::make_figure1_topology());
+    rt.deploy_engine(2, {}, 11).configure_dnn(apps::to_photonic_task(model));
+    rt.install_compute_routes_via_nearest_site();
+    if (ber > 0.0) rt.fabric().set_bit_error_rate(ber, 99);
+
+    constexpr int packets = 120;
+    for (int i = 0; i < packets; ++i) {
+      rt.submit(core::make_dnn_request(
+                    rt.fabric().topo().node_at(0).address,
+                    rt.fabric().topo().node_at(3).address,
+                    data.samples[static_cast<std::size_t>(i) %
+                                 data.samples.size()],
+                    model.output_dim(), static_cast<std::uint32_t>(i)),
+                0);
+    }
+    sim.run();
+
+    int correct = 0, with_result = 0;
+    for (const auto& d : rt.deliveries()) {
+      const auto h = proto::peek_compute_header(d.pkt);
+      const auto r = core::read_dnn_result(d.pkt);
+      if (!h || !r) continue;
+      ++with_result;
+      const std::size_t idx = h->task_id % data.samples.size();
+      if (r->predicted_class == data.labels[idx]) ++correct;
+    }
+    std::printf("  %12.0e %12zu %14llu %14d %11.1f%%\n", ber,
+                rt.deliveries().size(),
+                static_cast<unsigned long long>(
+                    rt.stats().malformed_dropped),
+                correct,
+                with_result > 0 ? 100.0 * correct / with_result : 0.0);
+  }
+
+  note("");
+  note("shape: the checksum converts header corruption into clean drops;");
+  note("payload corruption degrades accuracy only at BERs far above the");
+  note("post-FEC floor of a healthy coherent link (~1e-15)");
+  std::printf("\n");
+  return 0;
+}

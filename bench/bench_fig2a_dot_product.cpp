@@ -1,0 +1,105 @@
+// E1 — Fig. 2a: P1 photonic vector dot product.
+//
+// Regenerates the characterization a hardware paper would show for the
+// primitive: accuracy vs vector dimension, vs converter resolution, and
+// vs optical power (shot-noise limit), plus throughput (MAC/s) of the
+// time-multiplexed unit.
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "photonics/engine/dot_product_unit.hpp"
+#include "photonics/rng.hpp"
+
+using namespace onfiber;
+using namespace onfiber::bench;
+
+namespace {
+
+double rms_error(phot::dot_product_unit& unit, std::size_t dim, int trials,
+                 phot::rng& gen) {
+  double sq = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> a(dim), b(dim);
+    for (double& x : a) x = gen.uniform();
+    for (double& x : b) x = gen.uniform();
+    const double exact =
+        std::inner_product(a.begin(), a.end(), b.begin(), 0.0);
+    const auto r = unit.dot_unit_range(a, b);
+    sq += (r.value - exact) * (r.value - exact);
+  }
+  return std::sqrt(sq / trials);
+}
+
+}  // namespace
+
+int main() {
+  banner("E1 / Fig. 2a", "P1 photonic vector dot product characterization");
+
+  // ---- accuracy vs dimension (8-bit converters, defaults) --------------
+  note("accuracy vs vector dimension (8-bit DAC/ADC, 10 mW laser)");
+  std::printf("  %8s %14s %14s %16s\n", "dim", "RMS error", "rel. error",
+              "latency");
+  for (const std::size_t dim : {4u, 16u, 64u, 256u, 1024u}) {
+    phot::dot_product_unit unit({}, 42 + dim);
+    phot::rng gen(7 + dim);
+    const double rms = rms_error(unit, dim, 30, gen);
+    // Typical dot value ~ dim/4 for uniform [0,1] inputs.
+    const double typical = static_cast<double>(dim) / 4.0;
+    phot::dot_product_unit lat_unit({}, 1);
+    std::vector<double> ones(dim, 1.0);
+    const auto r = lat_unit.dot_unit_range(ones, ones);
+    std::printf("  %8zu %14.4f %13.2f%% %16s\n", dim, rms,
+                100.0 * rms / typical, fmt_time(r.latency_s).c_str());
+  }
+
+  // ---- accuracy vs converter bits --------------------------------------
+  note("");
+  note("accuracy vs converter resolution (dim = 64)");
+  std::printf("  %8s %14s\n", "bits", "RMS error");
+  for (const int bits : {4, 6, 8, 10, 12}) {
+    phot::dot_product_config cfg;
+    cfg.dac.bits = bits;
+    cfg.adc.bits = bits;
+    phot::dot_product_unit unit(cfg, 100 + static_cast<std::uint64_t>(bits));
+    phot::rng gen(200 + static_cast<std::uint64_t>(bits));
+    std::printf("  %8d %14.4f\n", bits, rms_error(unit, 64, 30, gen));
+  }
+
+  // ---- accuracy vs optical power (shot-noise limit) ---------------------
+  note("");
+  note("accuracy vs laser power (dim = 64, 14-bit converters to expose the");
+  note("analog noise floor) — the shot-noise limit of [50]");
+  std::printf("  %12s %14s\n", "power", "RMS error");
+  for (const double power_mw : {0.001, 0.01, 0.1, 1.0, 10.0}) {
+    phot::dot_product_config cfg;
+    cfg.laser.power_mw = power_mw;
+    cfg.dac.bits = 14;
+    cfg.adc.bits = 14;
+    cfg.dac.enob_penalty = 0.0;
+    cfg.adc.enob_penalty = 0.0;
+    phot::dot_product_unit unit(cfg, 300);
+    phot::rng gen(400);
+    std::printf("  %9.3f mW %14.4f\n", power_mw,
+                rms_error(unit, 64, 30, gen));
+  }
+
+  // ---- throughput --------------------------------------------------------
+  note("");
+  note("analog throughput of the time-multiplexed unit");
+  {
+    phot::dot_product_config cfg;
+    phot::dot_product_unit unit(cfg, 500);
+    const std::size_t dim = 1024;
+    std::vector<double> ones(dim, 1.0);
+    const auto r = unit.dot_unit_range(ones, ones);
+    const double macs_per_s = static_cast<double>(dim) / r.latency_s;
+    std::printf("  symbol rate %.0f GBd -> %.2f GMAC/s per unit (dim %zu)\n",
+                cfg.symbol_rate_hz / 1e9, macs_per_s / 1e9, dim);
+  }
+
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// E15 — §3: compute-communication protocol overhead (google-benchmark).
+//
+// Micro-benchmarks of the per-packet protocol operations a router/
+// transponder performs: header serialization, parse+verify, the two-field
+// (destination, primitive) lookup vs plain LPM, and packet assembly.
+#include <benchmark/benchmark.h>
+
+#include "core/compute_packets.hpp"
+#include "network/routing.hpp"
+#include "photonics/rng.hpp"
+#include "protocol/compute_header.hpp"
+#include "protocol/compute_routing.hpp"
+
+namespace {
+
+using namespace onfiber;
+
+proto::compute_header sample_header() {
+  proto::compute_header h;
+  h.primitive = proto::primitive_id::p1_dot_product;
+  h.task_id = 7;
+  h.input_length = 64;
+  h.result_offset = 64;
+  h.result_length = 8;
+  h.flags = proto::flag_require_compute;
+  return h;
+}
+
+void BM_HeaderSerialize(benchmark::State& state) {
+  const proto::compute_header h = sample_header();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto::serialize(h));
+  }
+}
+BENCHMARK(BM_HeaderSerialize);
+
+void BM_HeaderParseVerify(benchmark::State& state) {
+  const auto wire = proto::serialize(sample_header());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto::parse(wire));
+  }
+}
+BENCHMARK(BM_HeaderParseVerify);
+
+void BM_PlainLpmLookup(benchmark::State& state) {
+  net::routing_table<std::uint32_t> table;
+  phot::rng g(1);
+  for (int i = 0; i < state.range(0); ++i) {
+    const int len = 8 + static_cast<int>(g.below(17));
+    const std::uint32_t mask = ~std::uint32_t{0} << (32 - len);
+    table.insert(
+        net::prefix(net::ipv4(static_cast<std::uint32_t>(g()) & mask), len),
+        static_cast<std::uint32_t>(i));
+  }
+  std::uint32_t probe = 0x0a000001;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(net::ipv4(probe)));
+    probe += 2654435761U;
+  }
+}
+BENCHMARK(BM_PlainLpmLookup)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_TwoFieldLookup(benchmark::State& state) {
+  proto::compute_routing_table<std::uint32_t> table;
+  phot::rng g(2);
+  for (int i = 0; i < state.range(0); ++i) {
+    const int len = 8 + static_cast<int>(g.below(17));
+    const std::uint32_t mask = ~std::uint32_t{0} << (32 - len);
+    const net::prefix p(net::ipv4(static_cast<std::uint32_t>(g()) & mask),
+                        len);
+    table.insert_plain(p, static_cast<std::uint32_t>(i));
+    if (i % 4 == 0) {
+      table.insert_compute(p, proto::primitive_id::p1_dot_product,
+                           static_cast<std::uint32_t>(i) | 0x80000000);
+    }
+  }
+  std::uint32_t probe = 0x0a000001;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(
+        net::ipv4(probe), proto::primitive_id::p1_dot_product));
+    probe += 2654435761U;
+  }
+}
+BENCHMARK(BM_TwoFieldLookup)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_ComputePacketAssembly(benchmark::State& state) {
+  const std::vector<double> x(static_cast<std::size_t>(state.range(0)), 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::make_gemv_request(
+        net::ipv4(10, 0, 0, 2), net::ipv4(10, 3, 0, 2), x, 8));
+  }
+}
+BENCHMARK(BM_ComputePacketAssembly)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_HeaderRewrite(benchmark::State& state) {
+  const std::vector<double> x(64, 0.5);
+  net::packet pkt = core::make_gemv_request(net::ipv4(10, 0, 0, 2),
+                                            net::ipv4(10, 3, 0, 2), x, 8);
+  proto::compute_header h = *proto::peek_compute_header(pkt);
+  h.flags |= proto::flag_has_result;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto::rewrite_compute_header(pkt, h));
+  }
+}
+BENCHMARK(BM_HeaderRewrite);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// E10 — Table 1 (C2): intrusion detection.
+//
+// Photonic signature scanning vs Aho-Corasick: recall/precision on a
+// planted-ground-truth workload, scan cost scaling, and the energy
+// comparison against a server-class scanner.
+#include <chrono>
+#include <cstdio>
+
+#include "apps/intrusion_detection.hpp"
+#include "bench_util.hpp"
+#include "digital/device_model.hpp"
+
+using namespace onfiber;
+using namespace onfiber::bench;
+
+int main() {
+  banner("E10 / Table 1 C2", "intrusion detection: P2 scanner vs Aho-Corasick");
+
+  const std::vector<std::vector<std::uint8_t>> signatures{
+      {'A', 'T', 'T', 'A', 'C', 'K', '0', '1'},
+      {'m', 'a', 'l', 'w', 'a', 'r', 'e'},
+      {0xde, 0xad, 0xbe, 0xef, 0x13, 0x37},
+  };
+
+  // ---- detection quality -----------------------------------------------
+  note("detection quality on planted workloads (64-byte payloads)");
+  std::printf("  %-12s %10s %10s %12s\n", "scanner", "recall", "precision",
+              "plant rate");
+  for (const double plant : {0.2, 0.5, 0.9}) {
+    const auto w = apps::make_ids_workload(signatures, 20, 64, plant, 5);
+    apps::photonic_ids photonic(signatures, {}, 21);
+    const digital::aho_corasick ac(signatures);
+    std::vector<std::vector<apps::detection>> pf, df;
+    for (const auto& payload : w.payloads) {
+      pf.push_back(photonic.scan(payload));
+      df.push_back(apps::digital_ids_scan(ac, payload, signatures));
+    }
+    const auto pq = apps::score_detections(w.truth, pf);
+    const auto dq = apps::score_detections(w.truth, df);
+    std::printf("  %-12s %9.1f%% %9.1f%% %11.0f%%\n", "photonic",
+                100.0 * pq.recall, 100.0 * pq.precision, 100.0 * plant);
+    std::printf("  %-12s %9.1f%% %9.1f%%\n", "digital", 100.0 * dq.recall,
+                100.0 * dq.precision);
+  }
+
+  // ---- scan cost ------------------------------------------------------------
+  note("");
+  note("scan cost per payload (photonic: one analog evaluation per window");
+  note("per signature; parallel correlator banks would collapse this)");
+  std::printf("  %14s %16s %16s %16s\n", "payload bytes", "analog evals",
+              "analog time", "AC host time");
+  for (const std::size_t bytes : {32u, 64u, 128u}) {
+    const auto w = apps::make_ids_workload(signatures, 4, bytes, 0.5, 9);
+    apps::photonic_ids photonic(signatures, {}, 23);
+    const digital::aho_corasick ac(signatures);
+    for (const auto& p : w.payloads) (void)photonic.scan(p);
+    // Wall-clock the digital baseline.
+    const stopwatch timer;
+    int sink = 0;
+    constexpr int reps = 200;
+    for (int r = 0; r < reps; ++r) {
+      for (const auto& p : w.payloads) {
+        sink += static_cast<int>(ac.find_all(p).size());
+      }
+    }
+    const double host_s =
+        timer.elapsed_s() / (reps * static_cast<double>(w.payloads.size()));
+    std::printf("  %14zu %16.1f %16s %16s  (sink %d)\n", bytes,
+                static_cast<double>(photonic.evaluations()) /
+                    static_cast<double>(w.payloads.size()),
+                fmt_time(photonic.analog_time_s() /
+                         static_cast<double>(w.payloads.size()))
+                    .c_str(),
+                fmt_time(host_s).c_str(), sink > 0);
+  }
+
+  // ---- serial vs parallel signature bank --------------------------------------
+  note("");
+  note("serial window-by-signature scan vs parallel signature bank");
+  {
+    const auto w = apps::make_ids_workload(signatures, 4, 64, 0.5, 17);
+    apps::photonic_ids serial(signatures, {}, 31);
+    apps::photonic_ids parallel(signatures, {}, 31);
+    for (const auto& p : w.payloads) {
+      (void)serial.scan(p);
+      (void)parallel.scan_parallel(p);
+    }
+    const double n = static_cast<double>(w.payloads.size());
+    std::printf("  serial  : %s / 64 B payload\n",
+                fmt_time(serial.analog_time_s() / n).c_str());
+    std::printf("  parallel: %s / 64 B payload (one correlator per rule)\n",
+                fmt_time(parallel.analog_time_s() / n).c_str());
+  }
+
+  // ---- energy ----------------------------------------------------------------
+  note("");
+  note("energy per scanned payload (64 B): photonic optical vs server CPU");
+  {
+    const auto w = apps::make_ids_workload(signatures, 10, 64, 0.5, 13);
+    phot::energy_ledger ledger;
+    apps::photonic_ids photonic(signatures, {}, 27, &ledger);
+    for (const auto& p : w.payloads) (void)photonic.scan(p);
+    const double per_payload =
+        ledger.total_joules() / static_cast<double>(w.payloads.size());
+    // Server baseline: ~1 CPU-ns/byte at ~50 W/core-complex.
+    const double server_j = 64.0 * 1e-9 * 50.0;
+    std::printf("  photonic (all devices) : %12s\n",
+                fmt_energy(per_payload).c_str());
+    std::printf("  photonic (optical only): %12s\n",
+                fmt_energy(ledger.joules("photonic_match") /
+                           static_cast<double>(w.payloads.size()))
+                    .c_str());
+    std::printf("  server CPU scan        : %12s\n",
+                fmt_energy(server_j).c_str());
+  }
+
+  std::printf("\n");
+  return 0;
+}

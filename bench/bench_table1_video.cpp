@@ -1,0 +1,69 @@
+// E8 — Table 1 (C1): in-network video encoding.
+//
+// 8x8 DCT intra encoding on P1: PSNR of the photonic encode vs the exact
+// digital encode, across quantizer steps and laser powers, plus analog
+// encode throughput.
+#include <cstdio>
+
+#include "apps/video_encoding.hpp"
+#include "bench_util.hpp"
+
+using namespace onfiber;
+using namespace onfiber::bench;
+
+int main() {
+  banner("E8 / Table 1 C1", "video encoding (8x8 DCT intra) on fiber");
+
+  const apps::frame src = apps::make_synthetic_frame(64, 64, 5);
+
+  // ---- PSNR vs quantizer -----------------------------------------------
+  note("reconstruction PSNR vs quantizer step (64x64 frame)");
+  std::printf("  %14s %14s %14s\n", "quant step", "digital PSNR",
+              "photonic PSNR");
+  for (const double q : {1.0 / 16.0, 1.0 / 32.0, 1.0 / 64.0, 1.0 / 128.0}) {
+    apps::video_config cfg;
+    cfg.quant_step = q;
+    const auto dig = apps::encode_digital(src, cfg);
+    phot::vector_matrix_engine engine({}, 42);
+    const auto pho = apps::encode_photonic(src, cfg, engine);
+    const double psnr_dig =
+        apps::psnr_db(src, apps::decode(dig, 64, 64, cfg));
+    const double psnr_pho =
+        apps::psnr_db(src, apps::decode(pho, 64, 64, cfg));
+    std::printf("  %14.5f %11.1f dB %11.1f dB\n", q, psnr_dig, psnr_pho);
+  }
+
+  // ---- PSNR vs laser power (noise floor) ---------------------------------
+  note("");
+  note("photonic PSNR vs laser power (quant step 1/64)");
+  std::printf("  %12s %14s\n", "power", "PSNR");
+  for (const double power_mw : {0.01, 0.1, 1.0, 10.0}) {
+    phot::dot_product_config cfg;
+    cfg.laser.power_mw = power_mw;
+    phot::vector_matrix_engine engine(cfg, 43);
+    apps::video_config vcfg;
+    const auto pho = apps::encode_photonic(src, vcfg, engine);
+    std::printf("  %9.2f mW %11.1f dB\n", power_mw,
+                apps::psnr_db(src, apps::decode(pho, 64, 64, vcfg)));
+  }
+
+  // ---- throughput ----------------------------------------------------------
+  note("");
+  note("analog encode throughput");
+  {
+    phot::vector_matrix_engine engine({}, 44);
+    apps::video_config cfg;
+    const auto enc = apps::encode_photonic(src, cfg, engine);
+    const double pixels = 64.0 * 64.0;
+    const double fps_1080p =
+        1.0 / (enc.latency_s / pixels * 1920.0 * 1080.0);
+    std::printf(
+        "  64x64 frame: %s analog time (%llu symbols) -> %.1f fps at 1080p\n",
+        fmt_time(enc.latency_s).c_str(),
+        static_cast<unsigned long long>(enc.optical_symbols), fps_1080p);
+    note("  (single time-multiplexed unit; WDM lanes multiply throughput)");
+  }
+
+  std::printf("\n");
+  return 0;
+}

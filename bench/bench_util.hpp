@@ -1,0 +1,75 @@
+// bench_util.hpp — shared formatting helpers for the experiment harness.
+//
+// Each bench binary regenerates one paper artifact (figure, table row set,
+// or quantitative claim) and prints it as a self-describing table so
+// bench_output.txt reads as the reproduced evaluation.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace onfiber::bench {
+
+inline void banner(const std::string& experiment_id,
+                   const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s  %s\n", experiment_id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("  %s\n", text.c_str());
+}
+
+/// Engineering-notation seconds.
+inline std::string fmt_time(double seconds) {
+  char buf[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.3f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", seconds * 1e3);
+  } else if (seconds >= 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.3f us", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f ns", seconds * 1e9);
+  }
+  return buf;
+}
+
+/// Engineering-notation joules.
+inline std::string fmt_energy(double joules) {
+  char buf[64];
+  if (joules >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.3f J", joules);
+  } else if (joules >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.3f mJ", joules * 1e3);
+  } else if (joules >= 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.3f uJ", joules * 1e6);
+  } else if (joules >= 1e-9) {
+    std::snprintf(buf, sizeof buf, "%.3f nJ", joules * 1e9);
+  } else if (joules >= 1e-12) {
+    std::snprintf(buf, sizeof buf, "%.3f pJ", joules * 1e12);
+  } else if (joules >= 1e-15) {
+    std::snprintf(buf, sizeof buf, "%.3f fJ", joules * 1e15);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f aJ", joules * 1e18);
+  }
+  return buf;
+}
+
+/// Wall-clock stopwatch for solver timing.
+class stopwatch {
+ public:
+  stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace onfiber::bench

@@ -1,0 +1,127 @@
+// controller_demo.cpp — the centralized controller (§3) at work: register
+// photonic compute transponders across a US-WAN, submit user demands
+// (compute chains), solve the allocation three ways, and print the
+// assignments, routes and a failure-driven reconfiguration.
+#include <cstdio>
+
+#include "controller/controller.hpp"
+#include "network/topology.hpp"
+
+using namespace onfiber;
+
+namespace {
+
+const char* prim_name(proto::primitive_id p) {
+  switch (p) {
+    case proto::primitive_id::p1_dot_product: return "P1:dot";
+    case proto::primitive_id::p2_pattern_match: return "P2:match";
+    case proto::primitive_id::p3_nonlinear: return "P3:nonlin";
+    case proto::primitive_id::p1_p3_dnn: return "P1+P3:dnn";
+    case proto::primitive_id::none: return "none";
+  }
+  return "?";
+}
+
+void print_allocation(const ctrl::allocation_problem& p,
+                      const ctrl::allocation_result& r, const char* name) {
+  std::printf("\n%s: value %.1f, delay %.2f ms, %zu transponders used\n",
+              name, r.satisfied_value, r.total_delay_s * 1e3,
+              r.transponders_used);
+  for (const auto& a : r.assignments) {
+    const auto& d = p.demands[a.demand_id];
+    std::printf("  demand %u (%s -> %s, %s): ", d.id,
+                p.topo->node_at(d.src).name.c_str(),
+                p.topo->node_at(d.dst).name.c_str(),
+                prim_name(d.chain[0]));
+    if (!a.satisfied) {
+      std::printf("UNSATISFIED\n");
+      continue;
+    }
+    for (const auto tid : a.transponder_ids) {
+      std::printf("site %s ", p.topo->node_at(
+          p.transponders[tid].node).name.c_str());
+    }
+    std::printf("(+%.2f ms path)\n", a.path_delay_s * 1e3);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("centralized controller demo on the US-WAN\n");
+
+  net::topology topo = net::make_uswan_topology();
+  ctrl::allocation_problem p;
+  p.topo = &topo;
+
+  // Transponder inventory: (id, node, primitives, capacity).
+  p.transponders = {
+      {0, 3, {proto::primitive_id::p1_dot_product,
+              proto::primitive_id::p1_p3_dnn}, 6e3},   // Salt Lake
+      {1, 6, {proto::primitive_id::p2_pattern_match}, 6e3},  // Kansas City
+      {2, 7, {proto::primitive_id::p1_p3_dnn}, 6e3},   // Chicago
+      {3, 9, {proto::primitive_id::p2_pattern_match,
+              proto::primitive_id::p1_dot_product}, 6e3},  // Washington DC
+  };
+  std::printf("inventory: %zu transponders\n", p.transponders.size());
+
+  // User demands: inference and classification chains across the country.
+  const auto demand = [&](std::uint32_t id, net::node_id src, net::node_id dst,
+                          std::vector<proto::primitive_id> chain, double rate,
+                          double value) {
+    ctrl::compute_demand d;
+    d.id = id;
+    d.src = src;
+    d.dst = dst;
+    d.chain = std::move(chain);
+    d.rate_ops_s = rate;
+    d.value = value;
+    return d;
+  };
+  p.demands = {
+      demand(0, 0, 10, {proto::primitive_id::p1_p3_dnn}, 4e3, 3.0),
+      demand(1, 1, 11, {proto::primitive_id::p1_p3_dnn}, 4e3, 2.0),
+      demand(2, 2, 9, {proto::primitive_id::p2_pattern_match}, 3e3, 1.0),
+      demand(3, 5, 10, {proto::primitive_id::p2_pattern_match,
+                        proto::primitive_id::p1_dot_product}, 2e3, 2.5),
+      demand(4, 4, 11, {proto::primitive_id::p1_dot_product}, 5e3, 1.5),
+  };
+  std::printf("demands: %zu (one is a two-stage chain)\n", p.demands.size());
+
+  const auto greedy = ctrl::solve_greedy(p);
+  const auto local = ctrl::solve_local_search(p);
+  const auto exact = ctrl::solve_exact(p);
+  print_allocation(p, greedy, "greedy");
+  print_allocation(p, local, "local search");
+  print_allocation(p, exact, "exact (branch & bound)");
+
+  // Routes the controller would push to routers (§3: "delivering next-hop
+  // updates to all routers").
+  const auto routes = ctrl::routes_for_allocation(p, exact);
+  std::printf("\ntwo-field route entries pushed to routers: %zu\n",
+              routes.size());
+  for (std::size_t i = 0; i < routes.size() && i < 6; ++i) {
+    const auto& e = routes[i];
+    std::printf("  at %-14s dst %-18s prim %-10s -> next hop %s\n",
+                topo.node_at(e.at).name.c_str(),
+                e.dst_prefix.to_string().c_str(), prim_name(e.primitive),
+                topo.node_at(e.next_hop).name.c_str());
+  }
+  if (routes.size() > 6) std::printf("  ... %zu more\n", routes.size() - 6);
+
+  // Failure: Chicago's transponder dies; re-plan and print the reconfig.
+  std::printf("\nfailure: Chicago transponder (id 2) goes down; re-planning\n");
+  ctrl::allocation_problem degraded = p;
+  degraded.transponders[2].capacity_ops_s = 0.0;
+  const auto replanned = ctrl::solve_local_search(degraded);
+  print_allocation(degraded, replanned, "re-planned");
+  const auto ops = ctrl::plan_reconfiguration(degraded, exact, replanned);
+  std::printf("\nreconfiguration ops: %zu\n", ops.size());
+  for (const auto& op : ops) {
+    std::printf("  install %s on transponder %u (%s)\n",
+                prim_name(op.install), op.transponder_id,
+                topo.node_at(degraded.transponders[op.transponder_id].node)
+                    .name.c_str());
+  }
+  return 0;
+}

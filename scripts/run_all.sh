@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every experiment — the full reproduction run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build -j "$(nproc)" --output-on-failure 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+  [ -x "$b" ] && "$b"
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,173 @@
+#include "apps/convolution.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "photonics/rng.hpp"
+
+namespace onfiber::apps {
+
+namespace {
+
+/// Normalize a kernel into [-1, 1] (photonic weight range).
+void normalize_kernel(std::vector<double>& k) {
+  double max_abs = 1e-12;
+  for (const double v : k) max_abs = std::max(max_abs, std::abs(v));
+  for (double& v : k) v /= max_abs;
+}
+
+}  // namespace
+
+kernel_bank make_edge_kernel_bank() {
+  kernel_bank bank;
+  bank.size = 3;
+  bank.kernels = {
+      {-1, 0, 1, -2, 0, 2, -1, 0, 1},      // Sobel x
+      {-1, -2, -1, 0, 0, 0, 1, 2, 1},      // Sobel y
+      {0, 1, 0, 1, -4, 1, 0, 1, 0},        // Laplacian
+      {1, 1, 1, 1, 1, 1, 1, 1, 1},         // box blur
+      {2, 1, 0, 1, 0, -1, 0, -1, -2},      // diagonal edge
+  };
+  for (auto& k : bank.kernels) normalize_kernel(k);
+  return bank;
+}
+
+kernel_bank make_gabor_kernel_bank(std::size_t size,
+                                   std::size_t orientations,
+                                   std::uint64_t seed) {
+  if (size < 3 || size % 2 == 0 || orientations == 0) {
+    throw std::invalid_argument(
+        "make_gabor_kernel_bank: odd size >= 3, orientations >= 1");
+  }
+  phot::rng gen(seed);
+  kernel_bank bank;
+  bank.size = size;
+  const double sigma = static_cast<double>(size) / 3.0;
+  const double lambda = static_cast<double>(size) / 1.5 *
+                        gen.uniform(0.9, 1.1);
+  const double half = static_cast<double>(size - 1) / 2.0;
+  for (std::size_t o = 0; o < orientations; ++o) {
+    const double theta =
+        std::numbers::pi * static_cast<double>(o) /
+        static_cast<double>(orientations);
+    std::vector<double> k(size * size);
+    for (std::size_t y = 0; y < size; ++y) {
+      for (std::size_t x = 0; x < size; ++x) {
+        const double dx = static_cast<double>(x) - half;
+        const double dy = static_cast<double>(y) - half;
+        const double xr = dx * std::cos(theta) + dy * std::sin(theta);
+        const double yr = -dx * std::sin(theta) + dy * std::cos(theta);
+        k[y * size + x] =
+            std::exp(-(xr * xr + yr * yr) / (2.0 * sigma * sigma)) *
+            std::cos(2.0 * std::numbers::pi * xr / lambda);
+      }
+    }
+    normalize_kernel(k);
+    bank.kernels.push_back(std::move(k));
+  }
+  return bank;
+}
+
+namespace {
+
+void check_conv_args(const frame& image, const kernel_bank& bank) {
+  if (bank.kernels.empty()) {
+    throw std::invalid_argument("conv2d: empty kernel bank");
+  }
+  for (const auto& k : bank.kernels) {
+    if (k.size() != bank.size * bank.size) {
+      throw std::invalid_argument("conv2d: kernel size mismatch");
+    }
+  }
+  if (image.width < bank.size || image.height < bank.size) {
+    throw std::invalid_argument("conv2d: image smaller than kernel");
+  }
+}
+
+/// Flatten the k x k patch at (x, y), centered to [-0.5, 0.5].
+void load_patch(const frame& image, std::size_t x, std::size_t y,
+                std::size_t k, std::vector<double>& out) {
+  out.resize(k * k);
+  for (std::size_t dy = 0; dy < k; ++dy) {
+    for (std::size_t dx = 0; dx < k; ++dx) {
+      out[dy * k + dx] = image.at(x + dx, y + dy) - 0.5;
+    }
+  }
+}
+
+}  // namespace
+
+feature_maps conv2d_reference(const frame& image, const kernel_bank& bank) {
+  check_conv_args(image, bank);
+  feature_maps out;
+  out.width = image.width - bank.size + 1;
+  out.height = image.height - bank.size + 1;
+  out.maps.assign(bank.kernels.size(),
+                  std::vector<double>(out.width * out.height, 0.0));
+  std::vector<double> patch;
+  for (std::size_t y = 0; y < out.height; ++y) {
+    for (std::size_t x = 0; x < out.width; ++x) {
+      load_patch(image, x, y, bank.size, patch);
+      for (std::size_t ki = 0; ki < bank.kernels.size(); ++ki) {
+        double acc = 0.0;
+        const auto& k = bank.kernels[ki];
+        for (std::size_t i = 0; i < patch.size(); ++i) {
+          acc += k[i] * patch[i];
+        }
+        out.maps[ki][y * out.width + x] = acc;
+      }
+    }
+  }
+  return out;
+}
+
+feature_maps conv2d_photonic(const frame& image, const kernel_bank& bank,
+                             phot::wdm_gemv_engine& engine) {
+  check_conv_args(image, bank);
+  // Weight matrix: one kernel per row -> one GEMV per patch covers the
+  // whole bank (rows ride parallel wavelengths on the WDM engine).
+  phot::matrix w(bank.kernels.size(), bank.size * bank.size);
+  for (std::size_t ki = 0; ki < bank.kernels.size(); ++ki) {
+    for (std::size_t i = 0; i < bank.kernels[ki].size(); ++i) {
+      w.at(ki, i) = bank.kernels[ki][i];
+    }
+  }
+
+  feature_maps out;
+  out.width = image.width - bank.size + 1;
+  out.height = image.height - bank.size + 1;
+  out.maps.assign(bank.kernels.size(),
+                  std::vector<double>(out.width * out.height, 0.0));
+  std::vector<double> patch;
+  for (std::size_t y = 0; y < out.height; ++y) {
+    for (std::size_t x = 0; x < out.width; ++x) {
+      load_patch(image, x, y, bank.size, patch);
+      const auto r = engine.gemv_signed(w, patch);
+      for (std::size_t ki = 0; ki < bank.kernels.size(); ++ki) {
+        out.maps[ki][y * out.width + x] = r.values[ki];
+      }
+      out.latency_s += r.latency_s;
+      out.optical_symbols += r.symbols;
+    }
+  }
+  return out;
+}
+
+double feature_error(const feature_maps& a, const feature_maps& b) {
+  if (a.maps.size() != b.maps.size() || a.width != b.width ||
+      a.height != b.height) {
+    throw std::invalid_argument("feature_error: shape mismatch");
+  }
+  double err = 0.0;
+  std::size_t n = 0;
+  for (std::size_t m = 0; m < a.maps.size(); ++m) {
+    for (std::size_t i = 0; i < a.maps[m].size(); ++i) {
+      err += std::abs(a.maps[m][i] - b.maps[m][i]);
+      ++n;
+    }
+  }
+  return n > 0 ? err / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace onfiber::apps

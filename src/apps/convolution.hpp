@@ -1,0 +1,65 @@
+// convolution.hpp — convolutional processing on the photonic tensor core.
+//
+// The paper's P1 citation chain runs through Feldmann et al. [19]
+// ("Parallel convolutional processing using an integrated photonic tensor
+// core"): convolution is the marquee photonic workload. This module maps
+// 2-D convolution onto the P1 GEMV engine via im2col — each output pixel
+// is a dot product between a flattened image patch and a flattened
+// kernel, i.e. exactly what the analog unit computes — with a digital
+// reference for accuracy comparison.
+//
+// Used by the ML-inference use case as a feature extractor (conv bank +
+// trained MLP head) and by bench E22.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/video_encoding.hpp"  // frame
+#include "photonics/engine/vector_matrix_engine.hpp"
+#include "photonics/engine/wdm_engine.hpp"
+
+namespace onfiber::apps {
+
+/// A bank of square convolution kernels (all k x k, values in [-1, 1]).
+struct kernel_bank {
+  std::size_t size = 3;  ///< k
+  std::vector<std::vector<double>> kernels;  ///< each k*k, row-major
+};
+
+/// Classic 3x3 edge/texture kernel bank (Sobel x/y, Laplacian, blur,
+/// diagonal edges) — a deterministic feature extractor.
+[[nodiscard]] kernel_bank make_edge_kernel_bank();
+
+/// Gabor-like oriented kernels of the given size (deterministic).
+[[nodiscard]] kernel_bank make_gabor_kernel_bank(std::size_t size,
+                                                 std::size_t orientations,
+                                                 std::uint64_t seed);
+
+/// One output feature map per kernel, valid-convolution (no padding):
+/// output dims (w-k+1) x (h-k+1).
+struct feature_maps {
+  std::size_t width = 0;
+  std::size_t height = 0;
+  std::vector<std::vector<double>> maps;  ///< per kernel, row-major
+  double latency_s = 0.0;                 ///< analog time (photonic path)
+  std::uint64_t optical_symbols = 0;
+};
+
+/// Exact float convolution (reference).
+[[nodiscard]] feature_maps conv2d_reference(const frame& image,
+                                            const kernel_bank& bank);
+
+/// Photonic convolution: im2col patches through the signed GEMV engine.
+/// The weight matrix has one row per kernel, so all kernels of the bank
+/// evaluate per patch in one GEMV — the "parallel convolutional
+/// processing" of [19] (with a WDM engine, rows map to wavelengths).
+[[nodiscard]] feature_maps conv2d_photonic(const frame& image,
+                                           const kernel_bank& bank,
+                                           phot::wdm_gemv_engine& engine);
+
+/// Mean absolute error between two same-shape feature map sets.
+[[nodiscard]] double feature_error(const feature_maps& a,
+                                   const feature_maps& b);
+
+}  // namespace onfiber::apps

@@ -1,0 +1,122 @@
+#include "apps/ip_routing.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "photonics/rng.hpp"
+
+namespace onfiber::apps {
+
+std::vector<std::uint8_t> address_bits(net::ipv4 addr) {
+  std::vector<std::uint8_t> bits(32);
+  for (int i = 0; i < 32; ++i) {
+    bits[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((addr.value >> (31 - i)) & 1U);
+  }
+  return bits;
+}
+
+std::vector<phot::tbit> prefix_pattern(net::prefix p) {
+  std::vector<phot::tbit> pattern(32, phot::tbit::wildcard);
+  for (int i = 0; i < p.length; ++i) {
+    const bool bit = (p.network.value >> (31 - i)) & 1U;
+    pattern[static_cast<std::size_t>(i)] =
+        bit ? phot::tbit::one : phot::tbit::zero;
+  }
+  return pattern;
+}
+
+photonic_fib::photonic_fib(std::vector<fib_entry> entries,
+                           phot::pattern_match_config config,
+                           std::uint64_t seed, phot::energy_ledger* ledger,
+                           phot::energy_costs costs)
+    : matcher_(config, seed, ledger, costs) {
+  // Longest-first: the first hit is the longest prefix match. Default
+  // routes (/0) carry no cared bits, which P2 cannot express — they are
+  // kept as an implicit terminal fallback entry.
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const fib_entry& a, const fib_entry& b) {
+                     return a.dst.length > b.dst.length;
+                   });
+  entries_.reserve(entries.size());
+  for (auto& e : entries) {
+    prepared pr;
+    pr.pattern = prefix_pattern(e.dst);
+    pr.entry = e;
+    entries_.push_back(std::move(pr));
+  }
+}
+
+std::optional<std::uint32_t> photonic_fib::lookup(net::ipv4 addr) {
+  const std::vector<std::uint8_t> bits = address_bits(addr);
+  for (const prepared& pr : entries_) {
+    if (pr.entry.dst.length == 0) {
+      // Default route: always matches (no optical evaluation needed).
+      return pr.entry.next_hop;
+    }
+    const phot::match_result m = matcher_.match_ternary(bits, pr.pattern);
+    ++evaluations_;
+    analog_time_s_ += m.latency_s;
+    if (m.matched) return pr.entry.next_hop;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint32_t> photonic_fib::lookup_parallel(net::ipv4 addr) {
+  const std::vector<std::uint8_t> bits = address_bits(addr);
+  // All correlators fire on the same symbols; the priority encoder picks
+  // the longest matching entry. Analog time: one evaluation.
+  std::optional<std::uint32_t> best;
+  double slowest = 0.0;
+  for (const prepared& pr : entries_) {
+    if (pr.entry.dst.length == 0) {
+      if (!best) best = pr.entry.next_hop;
+      continue;
+    }
+    const phot::match_result m = matcher_.match_ternary(bits, pr.pattern);
+    ++evaluations_;
+    slowest = std::max(slowest, m.latency_s);
+    if (m.matched && !best) best = pr.entry.next_hop;  // longest-first order
+  }
+  analog_time_s_ += slowest;
+  return best;
+}
+
+std::vector<fib_entry> make_synthetic_fib(std::size_t n, std::uint64_t seed,
+                                          bool with_default) {
+  phot::rng gen(seed);
+  std::vector<fib_entry> out;
+  out.reserve(n + 1);
+  std::set<std::pair<std::uint32_t, int>> seen;
+  while (out.size() < n) {
+    // Realistic length mix: mostly /16-/24, some shorter aggregates.
+    const int length = 8 + static_cast<int>(gen.below(17));  // 8..24
+    const std::uint32_t addr =
+        static_cast<std::uint32_t>(gen()) &
+        (length == 0 ? 0U : ~std::uint32_t{0} << (32 - length));
+    if (!seen.insert({addr, length}).second) continue;  // unique prefixes
+    out.push_back(fib_entry{net::prefix(net::ipv4(addr), length),
+                            static_cast<std::uint32_t>(out.size() + 1)});
+  }
+  if (with_default) {
+    out.push_back(fib_entry{net::prefix(net::ipv4(0), 0), 0});
+  }
+  return out;
+}
+
+net::routing_table<std::uint32_t> make_trie_fib(
+    const std::vector<fib_entry>& entries) {
+  net::routing_table<std::uint32_t> table;
+  // Insert shortest-first so that ties on identical prefixes resolve the
+  // same way as the photonic path's stable longest-first ordering.
+  std::vector<fib_entry> sorted = entries;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const fib_entry& a, const fib_entry& b) {
+                     return a.dst.length < b.dst.length;
+                   });
+  for (const auto& e : sorted) table.insert(e.dst, e.next_hop);
+  return table;
+}
+
+}  // namespace onfiber::apps

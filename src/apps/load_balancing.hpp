@@ -1,0 +1,102 @@
+// load_balancing.hpp — Table 1, C2: load balancing with a photonic
+// comparator.
+//
+// Switch load balancers keep per-path utilization counters and need to
+// pick the least-loaded path per flowlet; precise schemes replicate big
+// tables (§4: "Limited memory for precise load balancing"). The photonic
+// comparator encodes candidate path loads as optical intensities and lets
+// balanced photodetection pick the smaller — constant memory, analog
+// speed, at the cost of occasional wrong picks when loads are close
+// (shot-noise limited resolution).
+//
+// Policies implemented:
+//   * ecmp_hash        — static flow hashing (the status quo);
+//   * flowlet_digital  — "Let it flow"-style flowlet switching with exact
+//                        digital comparison [58];
+//   * flowlet_photonic — the same flowlet logic, least-loaded choice made
+//                        by the photonic comparator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "photonics/energy.hpp"
+#include "photonics/laser.hpp"
+#include "photonics/modulator.hpp"
+#include "photonics/photodetector.hpp"
+#include "photonics/rng.hpp"
+
+namespace onfiber::apps {
+
+/// Analog two-input comparator: which of two loads is smaller?
+class photonic_comparator {
+ public:
+  struct config {
+    phot::laser_config laser{};
+    phot::modulator_config modulator{};
+    phot::photodetector_config detector{};
+    double full_scale_load = 1.0;  ///< loads normalized by this before encode
+  };
+
+  photonic_comparator(config cfg, std::uint64_t seed,
+                      phot::energy_ledger* ledger = nullptr,
+                      phot::energy_costs costs = {});
+
+  /// true if load_a < load_b according to the analog measurement.
+  [[nodiscard]] bool less(double load_a, double load_b);
+
+  /// Index of the (analog-measured) smallest load among candidates.
+  /// Tournament of pairwise comparisons.
+  [[nodiscard]] std::size_t argmin(std::span<const double> loads);
+
+  [[nodiscard]] std::uint64_t comparisons() const { return comparisons_; }
+
+ private:
+  config config_;
+  phot::laser laser_;
+  phot::mzm_modulator mod_a_;
+  phot::mzm_modulator mod_b_;
+  phot::photodetector det_a_;
+  phot::photodetector det_b_;
+  std::uint64_t comparisons_ = 0;
+};
+
+// ------------------------------------------------------- LB simulation
+
+/// A synthetic flow arrival for the LB experiment.
+struct lb_flow {
+  double start_s = 0.0;
+  double size_bytes = 0.0;
+  std::uint32_t flow_hash = 0;
+  std::size_t packets = 0;
+  double inter_packet_gap_s = 0.0;
+};
+
+/// Generate heavy-tailed flows (mice + elephants), Poisson arrivals.
+[[nodiscard]] std::vector<lb_flow> make_lb_flows(std::size_t count,
+                                                 double arrival_rate_fps,
+                                                 std::uint64_t seed);
+
+enum class lb_policy : std::uint8_t {
+  ecmp_hash,
+  flowlet_digital,
+  flowlet_photonic,
+};
+
+struct lb_result {
+  std::vector<double> path_bytes;  ///< bytes placed on each path
+  double jain_fairness = 0.0;
+  double max_over_mean = 0.0;      ///< peak path load / mean path load
+  std::uint64_t flowlet_switches = 0;
+};
+
+/// Run a policy over the flows on `path_count` equal-capacity paths.
+/// `flowlet_gap_s` is the idle gap that opens a new flowlet.
+[[nodiscard]] lb_result run_load_balancer(
+    const std::vector<lb_flow>& flows, std::size_t path_count,
+    lb_policy policy, double flowlet_gap_s,
+    photonic_comparator* comparator,  ///< required for flowlet_photonic
+    std::uint64_t seed);
+
+}  // namespace onfiber::apps

@@ -1,0 +1,247 @@
+#include "apps/mimo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace onfiber::apps {
+
+namespace {
+
+using cplx = std::complex<double>;
+
+/// Hermitian transpose.
+cmatrix hermitian(const cmatrix& a) {
+  const std::size_t rows = a.size();
+  const std::size_t cols = a.empty() ? 0 : a[0].size();
+  cmatrix out(cols, cvector(rows));
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) out[c][r] = std::conj(a[r][c]);
+  }
+  return out;
+}
+
+cmatrix multiply(const cmatrix& a, const cmatrix& b) {
+  const std::size_t n = a.size();
+  const std::size_t k = b.size();
+  const std::size_t m = b.empty() ? 0 : b[0].size();
+  cmatrix out(n, cvector(m, cplx{0.0, 0.0}));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const cplx aip = a[i][p];
+      for (std::size_t j = 0; j < m; ++j) out[i][j] += aip * b[p][j];
+    }
+  }
+  return out;
+}
+
+/// Gauss-Jordan inverse of a square complex matrix.
+cmatrix invert(cmatrix a) {
+  const std::size_t n = a.size();
+  cmatrix inv(n, cvector(n, cplx{0.0, 0.0}));
+  for (std::size_t i = 0; i < n; ++i) inv[i][i] = 1.0;
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot by magnitude.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    if (std::abs(a[pivot][col]) < 1e-12) {
+      throw std::runtime_error("mimo: singular matrix in ZF inverse");
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(inv[col], inv[pivot]);
+    const cplx d = a[col][col];
+    for (std::size_t j = 0; j < n; ++j) {
+      a[col][j] /= d;
+      inv[col][j] /= d;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const cplx f = a[r][col];
+      if (f == cplx{0.0, 0.0}) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        a[r][j] -= f * a[col][j];
+        inv[r][j] -= f * inv[col][j];
+      }
+    }
+  }
+  return inv;
+}
+
+cvector matvec(const cmatrix& a, const cvector& x) {
+  cvector y(a.size(), cplx{0.0, 0.0});
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    for (std::size_t c = 0; c < x.size(); ++c) y[r] += a[r][c] * x[c];
+  }
+  return y;
+}
+
+}  // namespace
+
+cmatrix make_rayleigh_channel(std::size_t antennas, std::size_t users,
+                              std::uint64_t seed) {
+  if (antennas == 0 || users == 0 || antennas < users) {
+    throw std::invalid_argument("make_rayleigh_channel: need M >= K >= 1");
+  }
+  phot::rng gen(seed);
+  cmatrix h(antennas, cvector(users));
+  const double sigma = std::sqrt(0.5);
+  for (auto& row : h) {
+    for (auto& v : row) {
+      v = cplx{gen.normal(0.0, sigma), gen.normal(0.0, sigma)};
+    }
+  }
+  return h;
+}
+
+cmatrix zero_forcing_matrix(const cmatrix& h) {
+  const cmatrix hh = hermitian(h);
+  return multiply(invert(multiply(hh, h)), hh);
+}
+
+cmatrix mmse_matrix(const cmatrix& h, double noise_var) {
+  if (noise_var < 0.0) {
+    throw std::invalid_argument("mmse_matrix: negative noise variance");
+  }
+  const cmatrix hh = hermitian(h);
+  cmatrix gram = multiply(hh, h);
+  for (std::size_t i = 0; i < gram.size(); ++i) gram[i][i] += noise_var;
+  return multiply(invert(std::move(gram)), hh);
+}
+
+stacked_real stack_real(const cmatrix& w) {
+  const std::size_t k = w.size();
+  const std::size_t m = w.empty() ? 0 : w[0].size();
+  double max_abs = 1e-12;
+  for (const auto& row : w) {
+    for (const cplx v : row) {
+      max_abs = std::max({max_abs, std::abs(v.real()), std::abs(v.imag())});
+    }
+  }
+  stacked_real out;
+  out.scale = max_abs;
+  out.w = phot::matrix(2 * k, 2 * m);
+  for (std::size_t r = 0; r < k; ++r) {
+    for (std::size_t c = 0; c < m; ++c) {
+      const double re = w[r][c].real() / max_abs;
+      const double im = w[r][c].imag() / max_abs;
+      out.w.at(r, c) = re;
+      out.w.at(r, m + c) = -im;
+      out.w.at(k + r, c) = im;
+      out.w.at(k + r, m + c) = re;
+    }
+  }
+  return out;
+}
+
+std::complex<double> qpsk_modulate(std::uint8_t two_bits) {
+  constexpr double a = 0.70710678118654752440;
+  switch (two_bits & 0x3) {
+    case 0b00: return {+a, +a};
+    case 0b01: return {+a, -a};
+    case 0b11: return {-a, -a};
+    default:   return {-a, +a};  // 0b10
+  }
+}
+
+std::uint8_t qpsk_slice(std::complex<double> y) {
+  const bool re_neg = y.real() < 0.0;
+  const bool im_neg = y.imag() < 0.0;
+  if (!re_neg && !im_neg) return 0b00;
+  if (!re_neg && im_neg) return 0b01;
+  if (re_neg && im_neg) return 0b11;
+  return 0b10;
+}
+
+mimo_trial_result run_mimo_trial(const cmatrix& h, double snr_db,
+                                 std::size_t vectors,
+                                 phot::vector_matrix_engine& engine,
+                                 std::uint64_t seed) {
+  return run_mimo_trial_with(h, zero_forcing_matrix(h), snr_db, vectors,
+                             engine, seed);
+}
+
+mimo_trial_result run_mimo_trial_with(const cmatrix& h, const cmatrix& w,
+                                      double snr_db, std::size_t vectors,
+                                      phot::vector_matrix_engine& engine,
+                                      std::uint64_t seed) {
+  const std::size_t m = h.size();
+  const std::size_t k = h.empty() ? 0 : h[0].size();
+  if (m == 0 || k == 0 || vectors == 0) {
+    throw std::invalid_argument("run_mimo_trial: empty problem");
+  }
+  if (w.size() != k || w[0].size() != m) {
+    throw std::invalid_argument("run_mimo_trial: detector shape mismatch");
+  }
+  phot::rng gen(seed);
+  const stacked_real sw = stack_real(w);
+
+  // Receive-side normalization: y entries can exceed 1; scale into the
+  // photonic input range by the largest |y| component seen per vector.
+  const double noise_var = std::pow(10.0, -snr_db / 10.0);
+  const double noise_sigma = std::sqrt(noise_var / 2.0);
+
+  std::size_t bit_errors_dig = 0, bit_errors_phot = 0;
+  double evm_dig = 0.0, evm_phot = 0.0;
+  double analog_latency = 0.0;
+  const std::size_t total_bits = vectors * k * 2;
+
+  for (std::size_t t = 0; t < vectors; ++t) {
+    // Transmit QPSK for each user.
+    std::vector<std::uint8_t> tx_bits(k);
+    cvector x(k);
+    for (std::size_t u = 0; u < k; ++u) {
+      tx_bits[u] = static_cast<std::uint8_t>(gen.below(4));
+      x[u] = qpsk_modulate(tx_bits[u]);
+    }
+    // y = H x + n
+    cvector y = matvec(h, x);
+    for (auto& v : y) {
+      v += cplx{gen.normal(0.0, noise_sigma), gen.normal(0.0, noise_sigma)};
+    }
+
+    // Exact digital ZF.
+    const cvector xd = matvec(w, y);
+
+    // Photonic ZF: stacked-real GEMV, inputs normalized to [-1, 1].
+    std::vector<double> yr(2 * m);
+    double ymax = 1e-12;
+    for (std::size_t i = 0; i < m; ++i) {
+      ymax = std::max({ymax, std::abs(y[i].real()), std::abs(y[i].imag())});
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      yr[i] = y[i].real() / ymax;
+      yr[m + i] = y[i].imag() / ymax;
+    }
+    const auto res = engine.gemv_signed(sw.w, yr);
+    analog_latency += res.latency_s;
+
+    for (std::size_t u = 0; u < k; ++u) {
+      const cplx xp{res.values[u] * sw.scale * ymax,
+                    res.values[k + u] * sw.scale * ymax};
+      const cplx ideal = qpsk_modulate(tx_bits[u]);
+      evm_dig += std::norm(xd[u] - ideal);
+      evm_phot += std::norm(xp - ideal);
+
+      const std::uint8_t bd = qpsk_slice(xd[u]);
+      const std::uint8_t bp = qpsk_slice(xp);
+      bit_errors_dig += static_cast<std::size_t>((bd ^ tx_bits[u]) & 1) +
+                        static_cast<std::size_t>(((bd ^ tx_bits[u]) >> 1) & 1);
+      bit_errors_phot += static_cast<std::size_t>((bp ^ tx_bits[u]) & 1) +
+                         static_cast<std::size_t>(((bp ^ tx_bits[u]) >> 1) & 1);
+    }
+  }
+
+  mimo_trial_result out;
+  out.ber_digital =
+      static_cast<double>(bit_errors_dig) / static_cast<double>(total_bits);
+  out.ber_photonic =
+      static_cast<double>(bit_errors_phot) / static_cast<double>(total_bits);
+  out.evm_digital = std::sqrt(evm_dig / static_cast<double>(vectors * k));
+  out.evm_photonic = std::sqrt(evm_phot / static_cast<double>(vectors * k));
+  out.photonic_latency_s = analog_latency;
+  return out;
+}
+
+}  // namespace onfiber::apps

@@ -1,0 +1,78 @@
+// mimo.hpp — Table 1, C2: massive MIMO baseband processing on fiber.
+//
+// Uplink detection for an M-antenna base station serving K single-antenna
+// users: given the channel H (M x K, complex) the zero-forcing detector
+// x̂ = W y with W = (Hᴴ H)⁻¹ Hᴴ is a complex matrix-vector product per
+// received symbol vector — the workload the paper cites [24, 29] as
+// "computing resource hungry" on datacenter servers.
+//
+// The pseudo-inverse W is computed once, digitally, by the controller
+// (channel estimation cadence). The per-symbol GEMV — the high-rate part —
+// runs on P1: a complex matrix product expands into real arithmetic as
+//   [Re x̂; Im x̂] = [Re W, -Im W; Im W, Re W] [Re y; Im y].
+// QPSK slicing then recovers the transmitted bits; BER/EVM vs SNR is the
+// quality metric, photonic vs exact digital detection.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "photonics/engine/vector_matrix_engine.hpp"
+#include "photonics/rng.hpp"
+
+namespace onfiber::apps {
+
+using cmatrix = std::vector<std::vector<std::complex<double>>>;
+using cvector = std::vector<std::complex<double>>;
+
+/// Draw an i.i.d. Rayleigh channel H (M x K), unit average gain.
+[[nodiscard]] cmatrix make_rayleigh_channel(std::size_t antennas,
+                                            std::size_t users,
+                                            std::uint64_t seed);
+
+/// Zero-forcing detector W = (Hᴴ H)⁻¹ Hᴴ (K x M). Throws if Hᴴ H is
+/// singular (never for i.i.d. Rayleigh with M >= K in practice).
+[[nodiscard]] cmatrix zero_forcing_matrix(const cmatrix& h);
+
+/// MMSE detector W = (Hᴴ H + noise_var I)⁻¹ Hᴴ — regularized against the
+/// noise enhancement that hurts ZF at low SNR. `noise_var` is the
+/// per-component complex noise variance (10^(-SNR/10) for unit-power
+/// QPSK).
+[[nodiscard]] cmatrix mmse_matrix(const cmatrix& h, double noise_var);
+
+/// Map a K x M complex detector onto the stacked-real form used by the
+/// photonic GEMV: a 2K x 2M real matrix, entries scaled into [-1,1] by
+/// `scale` (returned), so results must be multiplied back by scale.
+struct stacked_real {
+  phot::matrix w;
+  double scale = 1.0;
+};
+[[nodiscard]] stacked_real stack_real(const cmatrix& w);
+
+/// QPSK symbols for a bit pair (Gray): 00 -> (+1+i)/√2, etc.
+[[nodiscard]] std::complex<double> qpsk_modulate(std::uint8_t two_bits);
+[[nodiscard]] std::uint8_t qpsk_slice(std::complex<double> y);
+
+/// One Monte-Carlo uplink experiment.
+struct mimo_trial_result {
+  double ber_digital = 0.0;
+  double ber_photonic = 0.0;
+  double evm_digital = 0.0;   ///< RMS error vector magnitude
+  double evm_photonic = 0.0;
+  double photonic_latency_s = 0.0;  ///< analog time across all vectors
+};
+
+/// Simulate `vectors` uplink symbol vectors through H at the given SNR,
+/// detect with exact digital ZF and with the photonic GEMV, and compare.
+[[nodiscard]] mimo_trial_result run_mimo_trial(
+    const cmatrix& h, double snr_db, std::size_t vectors,
+    phot::vector_matrix_engine& engine, std::uint64_t seed);
+
+/// Same experiment with a caller-supplied detector matrix W (K x M) —
+/// lets benches compare ZF against MMSE on identical channel draws.
+[[nodiscard]] mimo_trial_result run_mimo_trial_with(
+    const cmatrix& h, const cmatrix& w, double snr_db, std::size_t vectors,
+    phot::vector_matrix_engine& engine, std::uint64_t seed);
+
+}  // namespace onfiber::apps

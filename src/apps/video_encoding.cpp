@@ -1,0 +1,211 @@
+#include "apps/video_encoding.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "photonics/rng.hpp"
+
+namespace onfiber::apps {
+
+namespace {
+constexpr std::size_t block = 8;
+}
+
+frame make_synthetic_frame(std::size_t width, std::size_t height,
+                           std::uint64_t seed) {
+  phot::rng gen(seed);
+  frame f(width, height);
+  // Gradient base + low-frequency waves + texture noise + sharp bars.
+  const double fx = gen.uniform(1.0, 3.0);
+  const double fy = gen.uniform(1.0, 3.0);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      const double u = static_cast<double>(x) / static_cast<double>(width);
+      const double v = static_cast<double>(y) / static_cast<double>(height);
+      double p = 0.35 + 0.25 * u + 0.15 * v;
+      p += 0.12 * std::sin(2.0 * std::numbers::pi * fx * u) *
+           std::cos(2.0 * std::numbers::pi * fy * v);
+      p += gen.normal(0.0, 0.01);
+      if (x % 32 < 2) p = 0.9;  // vertical bars: sharp edges
+      f.at(x, y) = std::clamp(p, 0.0, 1.0);
+    }
+  }
+  return f;
+}
+
+phot::matrix dct8_matrix() {
+  phot::matrix d(block, block);
+  for (std::size_t k = 0; k < block; ++k) {
+    const double scale = k == 0 ? std::sqrt(1.0 / block)
+                                : std::sqrt(2.0 / block);
+    for (std::size_t n = 0; n < block; ++n) {
+      d.at(k, n) = scale * std::cos(std::numbers::pi *
+                                    (static_cast<double>(n) + 0.5) *
+                                    static_cast<double>(k) /
+                                    static_cast<double>(block));
+    }
+  }
+  return d;
+}
+
+namespace {
+
+void check_dims(const frame& f) {
+  if (f.width % block != 0 || f.height % block != 0 || f.width == 0) {
+    throw std::invalid_argument("video: dimensions must be multiples of 8");
+  }
+}
+
+/// Extract block (bx,by) into an 8x8 matrix with pixels centered to
+/// [-0.5, 0.5] (standard DC removal before the transform).
+phot::matrix load_block(const frame& f, std::size_t bx, std::size_t by) {
+  phot::matrix m(block, block);
+  for (std::size_t y = 0; y < block; ++y) {
+    for (std::size_t x = 0; x < block; ++x) {
+      m.at(y, x) = f.at(bx * block + x, by * block + y) - 0.5;
+    }
+  }
+  return m;
+}
+
+double quantize(double v, double step) {
+  return std::round(v / step) * step;
+}
+
+}  // namespace
+
+encode_result encode_digital(const frame& f, const video_config& cfg) {
+  check_dims(f);
+  const phot::matrix d = dct8_matrix();
+  encode_result out;
+  for (std::size_t by = 0; by < f.height / block; ++by) {
+    for (std::size_t bx = 0; bx < f.width / block; ++bx) {
+      const phot::matrix x = load_block(f, bx, by);
+      // t = D * X
+      phot::matrix t(block, block);
+      for (std::size_t r = 0; r < block; ++r) {
+        for (std::size_t c = 0; c < block; ++c) {
+          double acc = 0.0;
+          for (std::size_t k = 0; k < block; ++k) {
+            acc += d.at(r, k) * x.at(k, c);
+          }
+          t.at(r, c) = acc;
+        }
+      }
+      // y = T * D^T
+      for (std::size_t r = 0; r < block; ++r) {
+        for (std::size_t c = 0; c < block; ++c) {
+          double acc = 0.0;
+          for (std::size_t k = 0; k < block; ++k) {
+            acc += t.at(r, k) * d.at(c, k);
+          }
+          out.coefficients.push_back(quantize(acc, cfg.quant_step));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+encode_result encode_photonic(const frame& f, const video_config& cfg,
+                              phot::vector_matrix_engine& engine) {
+  check_dims(f);
+  const phot::matrix d = dct8_matrix();
+  // D's entries lie in (-1, 1) so it maps directly onto the signed GEMV.
+  encode_result out;
+  for (std::size_t by = 0; by < f.height / block; ++by) {
+    for (std::size_t bx = 0; bx < f.width / block; ++bx) {
+      const phot::matrix x = load_block(f, bx, by);
+      // t = D * X : one analog GEMV per column of X.
+      phot::matrix t(block, block);
+      std::vector<double> col(block);
+      for (std::size_t c = 0; c < block; ++c) {
+        for (std::size_t k = 0; k < block; ++k) col[k] = x.at(k, c);
+        const auto r = engine.gemv_signed(d, col);
+        for (std::size_t k = 0; k < block; ++k) t.at(k, c) = r.values[k];
+        out.latency_s += r.latency_s;
+        out.optical_symbols += r.symbols;
+      }
+      // y = T * D^T == D * T^T per column; feed rows of T.
+      std::vector<double> row(block);
+      phot::matrix y(block, block);
+      for (std::size_t rr = 0; rr < block; ++rr) {
+        for (std::size_t k = 0; k < block; ++k) row[k] = t.at(rr, k);
+        const auto r = engine.gemv_signed(d, row);
+        for (std::size_t k = 0; k < block; ++k) y.at(rr, k) = r.values[k];
+        out.latency_s += r.latency_s;
+        out.optical_symbols += r.symbols;
+      }
+      for (std::size_t rr = 0; rr < block; ++rr) {
+        for (std::size_t c = 0; c < block; ++c) {
+          out.coefficients.push_back(quantize(y.at(rr, c), cfg.quant_step));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+frame decode(const encode_result& enc, std::size_t width, std::size_t height,
+             const video_config& cfg) {
+  (void)cfg;  // coefficients are already dequantized values
+  if (width % block != 0 || height % block != 0) {
+    throw std::invalid_argument("video: dimensions must be multiples of 8");
+  }
+  const std::size_t blocks_x = width / block;
+  const std::size_t blocks_y = height / block;
+  if (enc.coefficients.size() != blocks_x * blocks_y * block * block) {
+    throw std::invalid_argument("video: coefficient count mismatch");
+  }
+  const phot::matrix d = dct8_matrix();
+  frame f(width, height);
+  std::size_t idx = 0;
+  for (std::size_t by = 0; by < blocks_y; ++by) {
+    for (std::size_t bx = 0; bx < blocks_x; ++bx) {
+      phot::matrix y(block, block);
+      for (std::size_t r = 0; r < block; ++r) {
+        for (std::size_t c = 0; c < block; ++c) y.at(r, c) = enc.coefficients[idx++];
+      }
+      // X = D^T * Y * D
+      phot::matrix t(block, block);
+      for (std::size_t r = 0; r < block; ++r) {
+        for (std::size_t c = 0; c < block; ++c) {
+          double acc = 0.0;
+          for (std::size_t k = 0; k < block; ++k) {
+            acc += d.at(k, r) * y.at(k, c);
+          }
+          t.at(r, c) = acc;
+        }
+      }
+      for (std::size_t r = 0; r < block; ++r) {
+        for (std::size_t c = 0; c < block; ++c) {
+          double acc = 0.0;
+          for (std::size_t k = 0; k < block; ++k) {
+            acc += t.at(r, k) * d.at(k, c);
+          }
+          f.at(bx * block + c, by * block + r) =
+              std::clamp(acc + 0.5, 0.0, 1.0);
+        }
+      }
+    }
+  }
+  return f;
+}
+
+double psnr_db(const frame& a, const frame& b) {
+  if (a.width != b.width || a.height != b.height || a.pixels.empty()) {
+    throw std::invalid_argument("psnr_db: frame size mismatch");
+  }
+  double mse = 0.0;
+  for (std::size_t i = 0; i < a.pixels.size(); ++i) {
+    const double d = a.pixels[i] - b.pixels[i];
+    mse += d * d;
+  }
+  mse /= static_cast<double>(a.pixels.size());
+  if (mse <= 0.0) return 99.0;  // identical frames: report a ceiling
+  return 10.0 * std::log10(1.0 / mse);
+}
+
+}  // namespace onfiber::apps

@@ -1,0 +1,75 @@
+// video_encoding.hpp — Table 1, C1: in-network video encoding.
+//
+// Intra-frame transform coding on the photonic engine: the 8x8 DCT-II at
+// the heart of HEVC-style intra encoding [53] is a pair of matrix
+// products per block (Y = D·X·Dᵀ), i.e. pure P1 work. The photonic path
+// runs both products on the analog GEMV unit; the digital path uses exact
+// float math. Quantization + inverse transform reconstruct the frame, and
+// PSNR against the source measures how much the analog noise costs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "photonics/engine/vector_matrix_engine.hpp"
+
+namespace onfiber::apps {
+
+/// A grayscale frame, pixel values in [0,1], row-major.
+struct frame {
+  std::size_t width = 0;
+  std::size_t height = 0;
+  std::vector<double> pixels;
+
+  frame() = default;
+  frame(std::size_t w, std::size_t h)
+      : width(w), height(h), pixels(w * h, 0.0) {}
+
+  [[nodiscard]] double& at(std::size_t x, std::size_t y) {
+    return pixels[y * width + x];
+  }
+  [[nodiscard]] double at(std::size_t x, std::size_t y) const {
+    return pixels[y * width + x];
+  }
+};
+
+/// Deterministic synthetic test frame: smooth gradients + texture + a few
+/// sharp edges (so the DCT has meaningful low/high frequency content).
+[[nodiscard]] frame make_synthetic_frame(std::size_t width,
+                                         std::size_t height,
+                                         std::uint64_t seed);
+
+/// The 8x8 DCT-II basis matrix (orthonormal).
+[[nodiscard]] phot::matrix dct8_matrix();
+
+/// Result of encoding one frame.
+struct encode_result {
+  std::vector<double> coefficients;  ///< per block, 64 quantized coeffs
+  double latency_s = 0.0;            ///< analog compute time (photonic path)
+  std::uint64_t optical_symbols = 0;
+};
+
+/// Encoder configuration.
+struct video_config {
+  double quant_step = 1.0 / 64.0;  ///< uniform quantizer step
+};
+
+/// Digital (exact) encode: float DCT + quantization.
+[[nodiscard]] encode_result encode_digital(const frame& f,
+                                           const video_config& cfg);
+
+/// Photonic encode: both per-block matrix products on the P1 GEMV engine.
+/// Requires width and height to be multiples of 8.
+[[nodiscard]] encode_result encode_photonic(const frame& f,
+                                            const video_config& cfg,
+                                            phot::vector_matrix_engine& engine);
+
+/// Decode (inverse quantize + inverse DCT, always digital — decoding
+/// happens at the receiving end host).
+[[nodiscard]] frame decode(const encode_result& enc, std::size_t width,
+                           std::size_t height, const video_config& cfg);
+
+/// Peak signal-to-noise ratio between two equal-size frames [dB].
+[[nodiscard]] double psnr_db(const frame& a, const frame& b);
+
+}  // namespace onfiber::apps

@@ -1,0 +1,144 @@
+#include "controller/rwa.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace onfiber::ctrl {
+
+namespace {
+
+/// Index of the link joining adjacent nodes u, v.
+std::size_t link_between(const net::topology& topo, net::node_id u,
+                         net::node_id v) {
+  for (const std::size_t li : topo.incident_links(u)) {
+    if (topo.neighbor(u, li) == v) return li;
+  }
+  throw std::invalid_argument("rwa: path nodes not adjacent");
+}
+
+/// Directed fiber along a hop: WDM links are unidirectional fiber pairs,
+/// so the occupancy key is (link, direction). A lightpath that detours
+/// through a compute site and back uses BOTH directions of the shared
+/// link — no self-conflict, exactly like the physical plant.
+std::vector<std::size_t> path_fibers(const net::topology& topo,
+                                     const std::vector<net::node_id>& path) {
+  if (path.size() < 2) {
+    throw std::invalid_argument("rwa: lightpath needs >= 2 nodes");
+  }
+  std::vector<std::size_t> fibers;
+  fibers.reserve(path.size() - 1);
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const std::size_t li = link_between(topo, path[i - 1], path[i]);
+    const int dir = topo.links()[li].a == path[i - 1] ? 0 : 1;
+    fibers.push_back(li * 2 + static_cast<std::size_t>(dir));
+  }
+  return fibers;
+}
+
+}  // namespace
+
+rwa_result assign_wavelengths_first_fit(
+    const net::topology& topo, std::vector<lightpath_request> requests,
+    int max_wavelengths) {
+  if (max_wavelengths <= 0) {
+    throw std::invalid_argument("rwa: need >= 1 wavelength");
+  }
+  std::sort(requests.begin(), requests.end(),
+            [](const lightpath_request& a, const lightpath_request& b) {
+              return a.id < b.id;
+            });
+
+  rwa_result result;
+  std::vector<std::vector<bool>> used(
+      topo.links().size() * 2,
+      std::vector<bool>(static_cast<std::size_t>(max_wavelengths), false));
+  std::vector<std::size_t> congestion(topo.links().size() * 2, 0);
+
+  for (const auto& req : requests) {
+    const auto links = path_fibers(topo, req.path);
+    for (const std::size_t li : links) ++congestion[li];
+
+    lightpath_assignment a;
+    a.request_id = req.id;
+    for (int w = 0; w < max_wavelengths; ++w) {
+      bool free_everywhere = true;
+      for (const std::size_t li : links) {
+        if (used[li][static_cast<std::size_t>(w)]) {
+          free_everywhere = false;
+          break;
+        }
+      }
+      if (free_everywhere) {
+        for (const std::size_t li : links) {
+          used[li][static_cast<std::size_t>(w)] = true;
+        }
+        a.assigned = true;
+        a.wavelength = w;
+        result.wavelengths_used =
+            std::max(result.wavelengths_used, w + 1);
+        break;
+      }
+    }
+    if (!a.assigned) ++result.blocked;
+    result.assignments.push_back(a);
+  }
+  result.max_congestion =
+      *std::max_element(congestion.begin(), congestion.end());
+  return result;
+}
+
+std::vector<lightpath_request> lightpaths_for_allocation(
+    const allocation_problem& p, const allocation_result& r) {
+  if (p.topo == nullptr) {
+    throw std::invalid_argument("rwa: allocation problem missing topology");
+  }
+  std::vector<lightpath_request> out;
+  for (const auto& a : r.assignments) {
+    if (!a.satisfied) continue;
+    const compute_demand& d = p.demands[a.demand_id];
+    lightpath_request req;
+    req.id = d.id;
+    // Concatenate the legs src -> site(s) -> dst (dropping duplicated
+    // junction nodes).
+    net::node_id cur = d.src;
+    req.path.push_back(cur);
+    auto extend = [&](net::node_id to) {
+      const auto leg = p.topo->shortest_path(cur, to);
+      for (std::size_t i = 1; i < leg.size(); ++i) req.path.push_back(leg[i]);
+      cur = to;
+    };
+    for (const auto tid : a.transponder_ids) {
+      extend(p.transponders[tid].node);
+    }
+    extend(d.dst);
+    if (req.path.size() >= 2) out.push_back(std::move(req));
+  }
+  return out;
+}
+
+bool assignment_is_conflict_free(const net::topology& topo,
+                                 const std::vector<lightpath_request>& requests,
+                                 const rwa_result& result) {
+  // Map request id -> directed fibers.
+  std::vector<std::vector<bool>> seen(
+      topo.links().size() * 2,
+      std::vector<bool>(static_cast<std::size_t>(
+                            std::max(result.wavelengths_used, 1)),
+                        false));
+  for (const auto& a : result.assignments) {
+    if (!a.assigned) continue;
+    const auto req = std::find_if(
+        requests.begin(), requests.end(),
+        [&](const lightpath_request& r) { return r.id == a.request_id; });
+    if (req == requests.end()) return false;
+    for (const std::size_t li : path_fibers(topo, req->path)) {
+      auto flag =
+          seen[li][static_cast<std::size_t>(a.wavelength)];
+      if (flag) return false;
+      seen[li][static_cast<std::size_t>(a.wavelength)] = true;
+    }
+  }
+  return true;
+}
+
+}  // namespace onfiber::ctrl

@@ -1,0 +1,62 @@
+// rwa.hpp — routing and wavelength assignment for compute lightpaths.
+//
+// The paper's controller section builds on the classic RWA literature it
+// cites ([10] Banerjee & Mukherjee, [67] Zang et al.): once the allocator
+// has chosen src -> site(s) -> dst paths, each demand needs a lightpath,
+// and lightpaths sharing a fiber must ride distinct wavelengths (no
+// wavelength conversion at intermediate nodes — the continuity
+// constraint). This module assigns wavelengths with the standard
+// first-fit heuristic and reports how close it gets to the congestion
+// lower bound.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "controller/controller.hpp"
+#include "network/topology.hpp"
+
+namespace onfiber::ctrl {
+
+/// One lightpath to be provisioned: a concrete node path.
+struct lightpath_request {
+  std::uint32_t id = 0;
+  std::vector<net::node_id> path;  ///< adjacent nodes, size >= 2
+};
+
+struct lightpath_assignment {
+  std::uint32_t request_id = 0;
+  bool assigned = false;
+  int wavelength = -1;  ///< grid index, 0-based
+};
+
+struct rwa_result {
+  std::vector<lightpath_assignment> assignments;
+  int wavelengths_used = 0;     ///< max assigned index + 1
+  std::size_t blocked = 0;      ///< requests that did not fit
+  std::size_t max_congestion = 0;  ///< busiest link's lightpath count
+                                   ///< (lower bound on wavelengths)
+};
+
+/// First-fit wavelength assignment under the continuity constraint.
+/// `max_wavelengths` caps the grid (C-band systems: 40-96); requests that
+/// cannot fit are blocked, not misassigned. Requests are served in id
+/// order (deterministic).
+[[nodiscard]] rwa_result assign_wavelengths_first_fit(
+    const net::topology& topo, std::vector<lightpath_request> requests,
+    int max_wavelengths = 96);
+
+/// Expand a solved allocation into lightpath requests: one per satisfied
+/// demand, along src -> site(s) -> dst shortest paths (the same legs the
+/// route generator uses).
+[[nodiscard]] std::vector<lightpath_request> lightpaths_for_allocation(
+    const allocation_problem& p, const allocation_result& r);
+
+/// Sanity checker used by tests: true iff no two assigned lightpaths
+/// share a link on the same wavelength.
+[[nodiscard]] bool assignment_is_conflict_free(
+    const net::topology& topo,
+    const std::vector<lightpath_request>& requests, const rwa_result& result);
+
+}  // namespace onfiber::ctrl

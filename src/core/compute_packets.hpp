@@ -1,0 +1,93 @@
+// compute_packets.hpp — client-side helpers for building and reading
+// on-fiber compute packets.
+//
+// End hosts use these to form requests ("send the relevant data to a
+// dedicated processing unit", §4): the compute input is serialized after
+// the compute header, and room for the result is reserved at a
+// predetermined offset, exactly as Fig. 4 describes the engine filling it
+// in.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "network/packet.hpp"
+#include "protocol/codec.hpp"
+#include "protocol/compute_header.hpp"
+
+namespace onfiber::core {
+
+/// Build a P1 GEMV request: x signed in [-1,1], room for `out_dim` result
+/// elements.
+[[nodiscard]] net::packet make_gemv_request(net::ipv4 src, net::ipv4 dst,
+                                            std::span<const double> x,
+                                            std::size_t out_dim,
+                                            std::uint32_t task_id = 0);
+
+/// Build a P2 match request over raw bytes; result is one byte (pattern
+/// index, or match_no_hit).
+[[nodiscard]] net::packet make_match_request(
+    net::ipv4 src, net::ipv4 dst, std::span<const std::uint8_t> data,
+    std::uint32_t task_id = 0);
+
+/// Build a P3 activation request: x in [0,1] element-wise.
+[[nodiscard]] net::packet make_nonlinear_request(net::ipv4 src, net::ipv4 dst,
+                                                 std::span<const double> x,
+                                                 std::uint32_t task_id = 0);
+
+/// Build a DNN inference request: x in [0,1]^in_dim; result holds one
+/// class byte + `out_dim` logit bytes.
+[[nodiscard]] net::packet make_dnn_request(net::ipv4 src, net::ipv4 dst,
+                                           std::span<const double> x,
+                                           std::size_t out_dim,
+                                           std::uint32_t task_id = 0);
+
+/// Build a batched DNN inference request: `samples` holds `batch` vectors
+/// of `in_dim` values in [0,1] back to back. One packet, one preamble,
+/// one queueing slot at the compute site — batching amortizes the fixed
+/// per-packet overheads (see bench E23/E7).
+[[nodiscard]] net::packet make_dnn_batch_request(
+    net::ipv4 src, net::ipv4 dst, std::span<const double> samples,
+    std::size_t in_dim, std::size_t out_dim, std::uint32_t task_id = 0);
+
+/// Build a multi-stage chain request (up to 3 stages — the distributed
+/// on-fiber computing of §5). `x` is the first stage's input, signed if
+/// the first stage is P1, unit-encoded otherwise; intermediate results
+/// travel unit-encoded (see photonic_engine). `result_capacity` bytes are
+/// reserved for all stage outputs combined — each engine sizes its own
+/// output, so reserve the sum of the per-stage output lengths.
+[[nodiscard]] net::packet make_chain_request(
+    net::ipv4 src, net::ipv4 dst,
+    std::span<const proto::primitive_id> stages, std::span<const double> x,
+    std::size_t result_capacity, std::uint32_t task_id = 0);
+
+// ------------------------------------------------------------- readers
+
+/// Decode a GEMV result (values scaled back by the input length).
+/// nullopt if the packet has no completed result of the right size.
+[[nodiscard]] std::optional<std::vector<double>> read_gemv_result(
+    const net::packet& pkt);
+
+/// Decode a match result byte.
+[[nodiscard]] std::optional<std::uint8_t> read_match_result(
+    const net::packet& pkt);
+
+/// Decode a P3 result vector in [0,1].
+[[nodiscard]] std::optional<std::vector<double>> read_nonlinear_result(
+    const net::packet& pkt);
+
+/// Decode a DNN result: (class, normalized logits).
+struct dnn_result {
+  std::uint8_t predicted_class = 0;
+  std::vector<double> logits;
+};
+[[nodiscard]] std::optional<dnn_result> read_dnn_result(
+    const net::packet& pkt);
+
+/// Decode all per-sample results of a batched DNN request.
+[[nodiscard]] std::optional<std::vector<dnn_result>> read_dnn_batch_result(
+    const net::packet& pkt);
+
+}  // namespace onfiber::core

@@ -1,0 +1,60 @@
+// optical_frame.hpp — the optical form of a packet on the fiber, and the
+// Fig. 4 receive pipeline that processes it.
+//
+// Transmit side (source transponder):
+//   [ optical preamble | PAM-coded packet bytes ]
+// The preamble (17 phase-encoded symbols, §3) announces a compute packet
+// so the photonic engine knows to engage; plain packets are framed
+// without it and pass straight to the photodetector.
+//
+// Receive side (photonic compute transponder):
+//   1. preamble detection on the first symbols (P2 correlator);
+//   2. if absent -> commodity receive path only (backward compatible);
+//   3. if present -> commodity receive recovers the bytes, the engine
+//      runs the compute task, and the *result-bearing* packet continues.
+//
+// This module is the waveform-level integration of the pieces that the
+// packet-level runtime abstracts; tests and bench E4 use it to check the
+// abstraction against the physics.
+#pragma once
+
+#include <optional>
+
+#include "core/photonic_engine.hpp"
+#include "core/transponder.hpp"
+#include "network/packet.hpp"
+
+namespace onfiber::core {
+
+/// A framed optical burst.
+struct optical_frame {
+  phot::waveform preamble;  ///< empty for plain (non-compute) frames
+  phot::waveform body;      ///< PAM-coded wire bytes
+  net::ipv4 src{};          ///< sim bookkeeping (framing metadata)
+  net::ipv4 dst{};
+  net::ip_proto proto = net::ip_proto::udp;
+};
+
+/// Serialize a packet onto the carrier. Compute packets get the optical
+/// preamble; plain packets do not.
+[[nodiscard]] optical_frame frame_packet(const net::packet& pkt,
+                                         commodity_transponder& tx,
+                                         photonic_engine& engine);
+
+/// Outcome of the Fig. 4 receive pipeline.
+struct receive_pipeline_report {
+  bool preamble_detected = false;
+  bool computed = false;
+  std::uint64_t symbol_errors = 0;
+  double latency_s = 0.0;       ///< receive + (if any) compute time
+  std::optional<net::packet> packet;  ///< recovered (possibly computed)
+};
+
+/// Run a frame through a compute transponder's receive path.
+/// `sent_bytes` (optional) enables symbol-error accounting.
+[[nodiscard]] receive_pipeline_report receive_frame(
+    const optical_frame& frame, commodity_transponder& rx,
+    photonic_engine& engine,
+    std::span<const std::uint8_t> sent_bytes = {});
+
+}  // namespace onfiber::core

@@ -1,0 +1,433 @@
+#include "core/photonic_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "protocol/codec.hpp"
+
+namespace onfiber::core {
+
+namespace {
+
+/// Writable view of `out_len` result bytes at the header's result offset.
+/// Engines size their own results (the client cannot always know the
+/// output length of every chain stage); empty if it does not fit.
+[[nodiscard]] std::span<std::uint8_t> result_span(
+    net::packet& pkt, const proto::compute_header& h, std::size_t out_len) {
+  const std::size_t begin = proto::compute_header_bytes + h.result_offset;
+  if (out_len == 0 || begin + out_len > pkt.payload.size()) return {};
+  return std::span<std::uint8_t>(pkt.payload).subspan(begin, out_len);
+}
+
+/// Split a signed vector into non-negative rails.
+void split_rails(std::span<const double> x, std::vector<double>& pos,
+                 std::vector<double>& neg) {
+  pos.resize(x.size());
+  neg.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    pos[i] = x[i] > 0.0 ? x[i] : 0.0;
+    neg[i] = x[i] < 0.0 ? -x[i] : 0.0;
+  }
+}
+
+}  // namespace
+
+photonic_engine::photonic_engine(engine_config config, std::uint64_t seed,
+                                 phot::energy_ledger* ledger,
+                                 phot::energy_costs costs)
+    : config_(config),
+      dot_unit_(config.dot, seed, ledger, costs),
+      upstream_encoder_(config.dot, seed ^ 0xf00d, nullptr, costs),
+      matcher_(config.match, seed ^ 0xbeef, ledger, costs),
+      upstream_phase_encoder_(config.match, seed ^ 0xcafe, nullptr, costs),
+      nonlinear_(config.nonlinear, seed ^ 0xd00d, ledger, costs),
+      ledger_(ledger),
+      costs_(costs) {}
+
+void photonic_engine::configure_gemv(gemv_task task) {
+  if (task.weights.rows == 0 || task.weights.cols == 0) {
+    throw std::invalid_argument("photonic_engine: empty GEMV task");
+  }
+  if (!task.bias.empty() && task.bias.size() != task.weights.rows) {
+    throw std::invalid_argument("photonic_engine: bias/rows mismatch");
+  }
+  gemv_ = std::move(task);
+}
+
+void photonic_engine::configure_match(match_task task) {
+  if (task.patterns.empty()) {
+    throw std::invalid_argument("photonic_engine: no patterns");
+  }
+  for (const auto& p : task.patterns) {
+    if (p.empty()) {
+      throw std::invalid_argument("photonic_engine: empty pattern");
+    }
+  }
+  if (task.patterns.size() >= match_no_hit) {
+    throw std::invalid_argument("photonic_engine: too many patterns");
+  }
+  match_ = std::move(task);
+}
+
+void photonic_engine::configure_dnn(dnn_task task) {
+  if (task.layers.empty()) {
+    throw std::invalid_argument("photonic_engine: empty DNN task");
+  }
+  for (std::size_t l = 1; l < task.layers.size(); ++l) {
+    if (task.layers[l].weights.cols != task.layers[l - 1].weights.rows) {
+      throw std::invalid_argument("photonic_engine: DNN layer shape chain");
+    }
+  }
+  dnn_ = std::move(task);
+}
+
+void photonic_engine::clear_tasks() {
+  gemv_.reset();
+  match_.reset();
+  dnn_.reset();
+}
+
+bool photonic_engine::supports(proto::primitive_id p) const {
+  switch (p) {
+    case proto::primitive_id::p1_dot_product:
+      return gemv_.has_value();
+    case proto::primitive_id::p2_pattern_match:
+      return match_.has_value();
+    case proto::primitive_id::p3_nonlinear:
+      return true;  // the nonlinear unit is always present
+    case proto::primitive_id::p1_p3_dnn:
+      return dnn_.has_value();
+    case proto::primitive_id::none:
+      return false;
+  }
+  return false;
+}
+
+std::vector<proto::primitive_id> photonic_engine::configured() const {
+  std::vector<proto::primitive_id> out;
+  if (gemv_) out.push_back(proto::primitive_id::p1_dot_product);
+  if (match_) out.push_back(proto::primitive_id::p2_pattern_match);
+  out.push_back(proto::primitive_id::p3_nonlinear);
+  if (dnn_) out.push_back(proto::primitive_id::p1_p3_dnn);
+  return out;
+}
+
+phot::gemv_result photonic_engine::analog_gemv(const phot::matrix& w,
+                                               std::span<const double> x,
+                                               bool input_is_optical,
+                                               engine_report& report) {
+  phot::gemv_result out;
+  out.values.reserve(w.rows);
+
+  if (input_is_optical) {
+    // On-fiber path: the input rails exist as optical waveforms (encoded
+    // upstream; reconstruction here is ledger-free). Each row consumes
+    // optical copies of the rails — wavelength/splitter fan-out in
+    // hardware.
+    std::vector<double> xp, xn;
+    split_rails(x, xp, xn);
+    const phot::waveform wave_p = upstream_encoder_.encode_to_optical(xp);
+    const phot::waveform wave_n = upstream_encoder_.encode_to_optical(xn);
+    const double ref_mw =
+        config_.dot.laser.power_mw *
+        phot::db_to_ratio(-config_.dot.modulator.insertion_loss_db);
+
+    std::vector<double> wp, wn;
+    for (std::size_t r = 0; r < w.rows; ++r) {
+      split_rails(w.row(r), wp, wn);
+      const auto pp = dot_unit_.dot_with_optical_input(wave_p, wp, ref_mw);
+      const auto nn = dot_unit_.dot_with_optical_input(wave_n, wn, ref_mw);
+      const auto pn = dot_unit_.dot_with_optical_input(wave_p, wn, ref_mw);
+      const auto np = dot_unit_.dot_with_optical_input(wave_n, wp, ref_mw);
+      out.values.push_back(pp.value + nn.value - pn.value - np.value);
+      out.latency_s += pp.latency_s + nn.latency_s + pn.latency_s +
+                       np.latency_s;
+      out.symbols += pp.symbols + nn.symbols + pn.symbols + np.symbols;
+    }
+  } else {
+    // OEO path: the input was digitized by the receive ADC (n conversions)
+    // and is re-encoded through the a-side DAC inside every pass.
+    report.input_conversions += x.size();
+    if (ledger_ != nullptr) {
+      ledger_->charge("adc", costs_.adc_conversion_j *
+                                 static_cast<double>(x.size()),
+                      x.size());
+    }
+    for (std::size_t r = 0; r < w.rows; ++r) {
+      const auto d = dot_unit_.dot_signed(w.row(r), x);
+      out.values.push_back(d.value);
+      out.latency_s += d.latency_s;
+      out.symbols += d.symbols;
+      report.input_conversions += 4 * x.size();  // DACs inside dot_signed
+    }
+  }
+  report.optical_symbols += out.symbols;
+  report.compute_latency_s += out.latency_s;
+  return out;
+}
+
+engine_report photonic_engine::run_gemv(const proto::compute_header& h,
+                                        net::packet& pkt) {
+  engine_report report;
+  if (!gemv_) return report;
+  const auto input = proto::compute_input(pkt, h);
+  const std::size_t batch = h.batch;
+  const std::size_t cols = gemv_->weights.cols;
+  const std::size_t rows = gemv_->weights.rows;
+  if (batch == 0 || input.size() != cols * batch) return report;
+  auto result_region = result_span(pkt, h, rows * batch);
+  if (result_region.empty()) return report;
+
+  // Chain codec convention: intermediate stage values travel in the unit
+  // [0,1] encoding; only first-stage inputs / final results use the
+  // signed encoding the client chose.
+  const bool chained_input = h.hops > 0;
+  const bool optical = config_.mode == compute_mode::on_fiber;
+  const bool chained_output = h.has_more_stages();
+  const double scale = std::max<double>(1.0, static_cast<double>(cols));
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    const auto sample = input.subspan(b * cols, cols);
+    const std::vector<double> x =
+        chained_input ? proto::decode_unit_vector(sample)
+                      : proto::decode_signed_vector(sample);
+    phot::gemv_result y = analog_gemv(gemv_->weights, x, optical, report);
+    for (std::size_t r = 0; r < y.values.size(); ++r) {
+      double v = y.values[r];
+      if (!gemv_->bias.empty()) v += gemv_->bias[r];
+      if (gemv_->relu_output && v < 0.0) v = 0.0;
+      result_region[b * rows + r] = chained_output
+                                        ? proto::encode_unit_u8(v / scale)
+                                        : proto::encode_signed_u8(v / scale);
+    }
+  }
+  report.computed = true;
+  report.result_bytes = static_cast<std::uint16_t>(rows * batch);
+  return report;
+}
+
+engine_report photonic_engine::run_match(const proto::compute_header& h,
+                                         net::packet& pkt) {
+  engine_report report;
+  if (!match_) return report;
+  const auto input = proto::compute_input(pkt, h);
+  if (input.empty()) return report;
+  auto result_region = result_span(pkt, h, 1);
+  if (result_region.empty()) return report;
+
+  const std::vector<std::uint8_t> bits = phot::bytes_to_bits(input);
+  const bool optical = config_.mode == compute_mode::on_fiber;
+
+  // On-fiber: the word exists optically once (pilot-first BPSK).
+  phot::waveform wave;
+  if (optical) {
+    wave = upstream_phase_encoder_.encode_bits_to_optical(bits);
+  } else {
+    // Receive ADC digitized the word before matching.
+    report.input_conversions += bits.size();
+    if (ledger_ != nullptr) {
+      ledger_->charge("adc", costs_.adc_conversion_j *
+                                 static_cast<double>(bits.size()),
+                      bits.size());
+    }
+  }
+
+  std::uint8_t hit = match_no_hit;
+  for (std::size_t pi = 0; pi < match_->patterns.size(); ++pi) {
+    const auto& pattern = match_->patterns[pi];
+    if (pattern.size() != bits.size()) continue;
+    phot::match_result m;
+    if (optical) {
+      m = matcher_.match_optical(wave, pattern);
+    } else {
+      // OEO: each trial re-drives the data phase modulator from digital.
+      report.input_conversions += bits.size();
+      if (ledger_ != nullptr) {
+        ledger_->charge("dac", costs_.dac_conversion_j *
+                                   static_cast<double>(bits.size()),
+                        bits.size());
+      }
+      m = matcher_.match_ternary(bits, pattern);
+    }
+    report.compute_latency_s += m.latency_s;
+    report.optical_symbols += m.symbols;
+    if (m.matched) {
+      hit = static_cast<std::uint8_t>(pi);
+      break;
+    }
+  }
+  result_region[0] = hit;
+  report.match_index = hit;
+  report.computed = true;
+  report.result_bytes = 1;
+  return report;
+}
+
+engine_report photonic_engine::run_nonlinear(const proto::compute_header& h,
+                                             net::packet& pkt) {
+  engine_report report;
+  const auto input = proto::compute_input(pkt, h);
+  if (input.empty()) return report;
+  auto result_region = result_span(pkt, h, input.size());
+  if (result_region.empty()) return report;
+
+  const std::vector<double> x = proto::decode_unit_vector(input);
+  const double full_scale_mw = config_.dot.laser.power_mw;
+  const bool optical = config_.mode == compute_mode::on_fiber;
+
+  if (!optical) {
+    // ADC-in + DAC re-encode per element.
+    report.input_conversions += 2 * x.size();
+    if (ledger_ != nullptr) {
+      ledger_->charge("adc", costs_.adc_conversion_j *
+                                 static_cast<double>(x.size()),
+                      x.size());
+      ledger_->charge("dac", costs_.dac_conversion_j *
+                                 static_cast<double>(x.size()),
+                      x.size());
+    }
+  }
+  // Result readout digitizes each activated sample in both modes.
+  report.input_conversions += x.size();
+  if (ledger_ != nullptr) {
+    ledger_->charge("adc", costs_.adc_conversion_j *
+                               static_cast<double>(x.size()),
+                    x.size());
+  }
+
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double y = nonlinear_.activate(x[i], full_scale_mw);
+    result_region[i] = proto::encode_unit_u8(y);
+  }
+  report.optical_symbols += x.size();
+  report.compute_latency_s +=
+      static_cast<double>(x.size()) / config_.nonlinear.symbol_rate_hz +
+      config_.dot.fixed_latency_s;
+  report.computed = true;
+  report.result_bytes = static_cast<std::uint16_t>(x.size());
+  return report;
+}
+
+engine_report photonic_engine::run_dnn(const proto::compute_header& h,
+                                       net::packet& pkt) {
+  engine_report report;
+  if (!dnn_) return report;
+  const auto input = proto::compute_input(pkt, h);
+  const std::size_t in_dim = dnn_->layers.front().weights.cols;
+  const std::size_t out_dim = dnn_->layers.back().weights.rows;
+  const std::size_t batch = h.batch;
+  if (batch == 0 || input.size() != in_dim * batch) return report;
+  auto result_region = result_span(pkt, h, (1 + out_dim) * batch);
+  if (result_region.empty()) return report;
+
+  const bool optical = config_.mode == compute_mode::on_fiber;
+  const double full_scale_mw = config_.dot.laser.power_mw;
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    std::vector<double> act =
+        proto::decode_unit_vector(input.subspan(b * in_dim, in_dim));
+
+    for (std::size_t li = 0; li < dnn_->layers.size(); ++li) {
+      const photonic_layer& layer = dnn_->layers[li];
+      // Inside the engine the analog signal never leaves the chip in
+      // on-fiber mode (single-chip photonic DNN [9]); in OEO mode every
+      // layer pays the conversion boundary.
+      phot::gemv_result z = analog_gemv(layer.weights, act, optical, report);
+      for (std::size_t i = 0; i < z.values.size(); ++i) {
+        if (!layer.bias.empty()) z.values[i] += layer.bias[i];
+      }
+      if (layer.activation) {
+        // Map pre-activations onto the P3 unit's optical dynamic range
+        // with the layer's fixed calibration scale (the one the model
+        // trained with), then run each through the electro-optic
+        // nonlinearity. Negative pre-activations carry no optical power.
+        act.assign(z.values.size(), 0.0);
+        for (std::size_t i = 0; i < z.values.size(); ++i) {
+          const double u = std::clamp(
+              z.values[i] / layer.activation_scale, 0.0, 1.0);
+          act[i] = nonlinear_.activate(u, full_scale_mw);
+        }
+        report.compute_latency_s += static_cast<double>(act.size()) /
+                                    config_.nonlinear.symbol_rate_hz;
+        report.optical_symbols += act.size();
+      } else {
+        act = std::move(z.values);
+      }
+    }
+
+    // Per-sample result: argmax class byte + logits normalized by
+    // max |logit|.
+    double amax = 1e-9;
+    for (double v : act) amax = std::max(amax, std::abs(v));
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < act.size(); ++i) {
+      if (act[i] > act[best]) best = i;
+    }
+    const std::size_t base = b * (1 + out_dim);
+    result_region[base] = static_cast<std::uint8_t>(best);
+    for (std::size_t i = 0; i < act.size() && i < out_dim; ++i) {
+      result_region[base + 1 + i] = proto::encode_signed_u8(act[i] / amax);
+    }
+  }
+  report.computed = true;
+  report.result_bytes = static_cast<std::uint16_t>((1 + out_dim) * batch);
+  return report;
+}
+
+engine_report photonic_engine::process(net::packet& pkt) {
+  engine_report report;
+  auto header = proto::peek_compute_header(pkt);
+  if (!header || header->has_result()) return report;
+  if (!supports(header->primitive)) return report;
+
+  switch (header->primitive) {
+    case proto::primitive_id::p1_dot_product:
+      report = run_gemv(*header, pkt);
+      break;
+    case proto::primitive_id::p2_pattern_match:
+      report = run_match(*header, pkt);
+      break;
+    case proto::primitive_id::p3_nonlinear:
+      report = run_nonlinear(*header, pkt);
+      break;
+    case proto::primitive_id::p1_p3_dnn:
+      report = run_dnn(*header, pkt);
+      break;
+    case proto::primitive_id::none:
+      return report;
+  }
+
+  if (report.computed) {
+    header->hops = static_cast<std::uint8_t>(header->hops + 1);
+    header->result_length = report.result_bytes;
+    if (header->has_more_stages()) {
+      // Distributed chain (§5): hand off to the next stage — the result
+      // becomes its input and the packet keeps routing by the new
+      // primitive until a capable transponder is crossed.
+      header->advance_stage(report.result_bytes);
+    } else {
+      header->flags |= proto::flag_has_result;
+    }
+    rewrite_compute_header(pkt, *header);
+  }
+  return report;
+}
+
+bool photonic_engine::detect_preamble(std::span<const phot::field> wave) {
+  if (wave.size() != proto::optical_preamble_bits.size() + 1) return false;
+  std::vector<phot::tbit> pattern;
+  pattern.reserve(proto::optical_preamble_bits.size());
+  for (std::uint8_t b : proto::optical_preamble_bits) {
+    pattern.push_back(b ? phot::tbit::one : phot::tbit::zero);
+  }
+  return matcher_.match_optical(wave, pattern).matched;
+}
+
+phot::waveform photonic_engine::encode_preamble() {
+  const std::vector<std::uint8_t> bits(proto::optical_preamble_bits.begin(),
+                                       proto::optical_preamble_bits.end());
+  return matcher_.encode_bits_to_optical(bits);
+}
+
+}  // namespace onfiber::core

@@ -1,0 +1,224 @@
+#include "core/runtime.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace onfiber::core {
+
+onfiber_runtime::onfiber_runtime(net::simulator& sim, net::topology topo)
+    : sim_(sim),
+      fabric_(sim, std::move(topo)),
+      sites_(fabric_.topo().node_count()),
+      compute_tables_(fabric_.topo().node_count()) {
+  fabric_.install_shortest_path_routes();
+  const auto n = static_cast<net::node_id>(fabric_.topo().node_count());
+  for (net::node_id id = 0; id < n; ++id) {
+    fabric_.set_hook(id, [this](net::node_id at, net::packet& pkt,
+                                double now) {
+      return on_packet(at, pkt, now);
+    });
+  }
+  fabric_.set_deliver_callback(
+      [this](const net::packet& pkt, net::node_id at, double t) {
+        const auto h = proto::peek_compute_header(pkt);
+        if (h && h->requires_compute() && !h->has_result()) {
+          ++stats_.uncomputed_delivered;
+        }
+        deliveries_.push_back(delivery{pkt, at, t});
+      });
+}
+
+photonic_engine& onfiber_runtime::deploy_engine(net::node_id at,
+                                                engine_config config,
+                                                std::uint64_t seed) {
+  if (at >= sites_.size()) {
+    throw std::out_of_range("onfiber_runtime: bad node id");
+  }
+  auto s = std::make_unique<site>();
+  s->engine = std::make_unique<photonic_engine>(config, seed);
+  sites_[at] = std::move(s);
+  return *sites_[at]->engine;
+}
+
+bool onfiber_runtime::site_supports(net::node_id at,
+                                    proto::primitive_id p) const {
+  return at < sites_.size() && sites_[at] != nullptr &&
+         sites_[at]->engine->supports(p);
+}
+
+std::vector<net::node_id> onfiber_runtime::sites() const {
+  std::vector<net::node_id> out;
+  for (net::node_id id = 0; id < sites_.size(); ++id) {
+    if (sites_[id] != nullptr) out.push_back(id);
+  }
+  return out;
+}
+
+void onfiber_runtime::set_compute_route(net::node_id at, net::prefix dst,
+                                        proto::primitive_id p,
+                                        net::node_id next_hop) {
+  if (at >= compute_tables_.size()) {
+    throw std::out_of_range("onfiber_runtime: bad node id");
+  }
+  compute_tables_[at].insert_compute(dst, p, next_hop);
+}
+
+void onfiber_runtime::install_compute_routes_via_nearest_site() {
+  const net::topology& topo = fabric_.topo();
+  const auto n = static_cast<net::node_id>(topo.node_count());
+
+  // All-pairs shortest-path delays (repeated Dijkstra; n is WAN-scale).
+  std::vector<std::vector<double>> delay(n, std::vector<double>(n, 0.0));
+  std::vector<std::vector<std::vector<net::node_id>>> paths(n);
+  for (net::node_id u = 0; u < n; ++u) {
+    paths[u].resize(n);
+    for (net::node_id v = 0; v < n; ++v) {
+      if (u == v) continue;
+      paths[u][v] = topo.shortest_path(u, v, &fabric_.links_up());
+      delay[u][v] = paths[u][v].empty()
+                        ? std::numeric_limits<double>::infinity()
+                        : topo.path_delay_s(paths[u][v]);
+    }
+  }
+
+  constexpr proto::primitive_id prims[] = {
+      proto::primitive_id::p1_dot_product,
+      proto::primitive_id::p2_pattern_match,
+      proto::primitive_id::p3_nonlinear,
+      proto::primitive_id::p1_p3_dnn,
+  };
+
+  // Spread-steering tables: capable sites per primitive and the
+  // first-hop matrix (used when steering == flow_spread).
+  for (auto& v : capable_sites_) v.clear();
+  for (const auto p : prims) {
+    for (const net::node_id s : sites()) {
+      if (site_supports(s, p)) {
+        capable_sites_[static_cast<std::size_t>(p)].push_back(s);
+      }
+    }
+  }
+  next_hop_toward_.assign(n, std::vector<net::node_id>(n, net::invalid_node));
+  for (net::node_id u = 0; u < n; ++u) {
+    for (net::node_id v = 0; v < n; ++v) {
+      if (u != v && paths[u][v].size() >= 2) {
+        next_hop_toward_[u][v] = paths[u][v][1];
+      }
+    }
+  }
+
+  for (net::node_id u = 0; u < n; ++u) {
+    for (const auto p : prims) {
+      if (site_supports(u, p)) continue;  // computed in transit here
+      for (net::node_id d = 0; d < n; ++d) {
+        if (d == u) continue;
+        // Best supporting site by via-delay.
+        net::node_id best_site = net::invalid_node;
+        double best = std::numeric_limits<double>::infinity();
+        for (const net::node_id s : sites()) {
+          if (!site_supports(s, p) || s == u) continue;
+          const double via = delay[u][s] + delay[s][d];
+          if (via < best) {
+            best = via;
+            best_site = s;
+          }
+        }
+        if (best_site == net::invalid_node) continue;
+        const auto& path = paths[u][best_site];
+        if (path.size() < 2) continue;
+        compute_tables_[u].insert_compute(topo.node_at(d).attached_prefix, p,
+                                          path[1]);
+      }
+    }
+  }
+}
+
+void onfiber_runtime::submit(net::packet pkt, net::node_id ingress) {
+  fabric_.send(std::move(pkt), ingress);
+}
+
+double onfiber_runtime::site_busy_s(net::node_id at) const {
+  if (at >= sites_.size() || sites_[at] == nullptr) return 0.0;
+  return sites_[at]->total_busy_s;
+}
+
+double onfiber_runtime::site_overhead_s(const site&) const {
+  // 17 optical symbols of preamble (pilot + 16 bits) on the P2 matcher at
+  // its 10 GHz symbol rate, plus a fixed optical path latency for result
+  // insertion.
+  constexpr double preamble_s = 17.0 / 10e9;
+  constexpr double insertion_s = 5e-9;
+  return preamble_s + insertion_s;
+}
+
+net::hook_decision onfiber_runtime::on_packet(net::node_id at,
+                                              net::packet& pkt, double now) {
+  net::hook_decision keep_going;
+  if (pkt.proto != net::ip_proto::compute) return keep_going;
+
+  const auto header = proto::peek_compute_header(pkt);
+  if (!header) {
+    ++stats_.malformed_dropped;
+    return net::hook_decision{net::hook_decision::action_type::drop,
+                              net::invalid_node};
+  }
+  if (header->has_result()) return keep_going;
+
+  // Compute here?
+  if (site_supports(at, header->primitive)) {
+    site& s = *sites_[at];
+    const engine_report report = s.engine->process(pkt);
+    if (report.computed) {
+      ++stats_.computed;
+      ++s.computed;
+      // Serial engine: queue behind in-progress work.
+      const double start = now > s.busy_until_s ? now : s.busy_until_s;
+      const double service = site_overhead_s(s) + report.compute_latency_s;
+      const double done = start + service;
+      s.busy_until_s = done;
+      s.total_busy_s += service;
+      // Hold the packet until the analog evaluation finishes, then let it
+      // continue toward its destination (it now carries the result).
+      net::packet held = pkt;
+      sim_.schedule_at(done, [this, held = std::move(held), at]() mutable {
+        fabric_.send(std::move(held), at);
+      });
+      return net::hook_decision{net::hook_decision::action_type::consume,
+                                net::invalid_node};
+    }
+    // Unable to compute (malformed bounds / wrong shape): fall through to
+    // normal forwarding so the destination can see the failure.
+    return keep_going;
+  }
+
+  // Flow-spread steering (§4 congestion mitigation): hash the flow
+  // across ALL capable sites so no single serial engine becomes the
+  // bottleneck. Per-flow deterministic, so every node along the way
+  // agrees on the chosen site and the packet converges to it.
+  if (steering_ == steering_policy::flow_spread) {
+    const auto& candidates =
+        capable_sites_[static_cast<std::size_t>(header->primitive)];
+    if (!candidates.empty() && !next_hop_toward_.empty()) {
+      const net::node_id target =
+          candidates[pkt.flow_hash % candidates.size()];
+      const net::node_id hop =
+          target == at ? net::invalid_node : next_hop_toward_[at][target];
+      if (hop != net::invalid_node) {
+        ++stats_.redirected;
+        return net::hook_decision{net::hook_decision::action_type::redirect,
+                                  hop};
+      }
+    }
+  }
+
+  // Steer toward a capable site if a compute route exists.
+  const auto next = compute_tables_[at].lookup(pkt.dst, header->primitive);
+  if (next) {
+    ++stats_.redirected;
+    return net::hook_decision{net::hook_decision::action_type::redirect,
+                              *next};
+  }
+  return keep_going;
+}
+
+}  // namespace onfiber::core

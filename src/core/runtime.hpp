@@ -1,0 +1,128 @@
+// runtime.hpp — the on-fiber computing runtime: WAN fabric + photonic
+// compute transponders + compute-aware routing (paper Fig. 1 end to end).
+//
+// The runtime installs a hook at every fabric node implementing the §3
+// data plane:
+//   * plain packets forward normally (backward compatibility);
+//   * compute packets that transit a node hosting an engine supporting
+//     their primitive are processed there (serially — one analog engine
+//     per transponder), then continue to their destination carrying the
+//     result;
+//   * compute packets elsewhere are steered by the two-field
+//     (destination, primitive) tables that the centralized controller —
+//     or the built-in nearest-site heuristic — installs.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "core/photonic_engine.hpp"
+#include "network/fabric.hpp"
+#include "protocol/compute_routing.hpp"
+
+namespace onfiber::core {
+
+class onfiber_runtime {
+ public:
+  onfiber_runtime(net::simulator& sim, net::topology topo);
+
+  onfiber_runtime(const onfiber_runtime&) = delete;
+  onfiber_runtime& operator=(const onfiber_runtime&) = delete;
+
+  /// Deploy a photonic compute transponder at a node. Returns the engine
+  /// for task configuration. One engine per node in this model (the
+  /// paper's "photonic compute transponder at site B" granularity).
+  photonic_engine& deploy_engine(net::node_id at, engine_config config,
+                                 std::uint64_t seed);
+
+  /// Does `at` host an engine supporting `p`?
+  [[nodiscard]] bool site_supports(net::node_id at,
+                                   proto::primitive_id p) const;
+
+  /// Nodes hosting engines.
+  [[nodiscard]] std::vector<net::node_id> sites() const;
+
+  /// Manually install a compute route (controller output): at node `at`,
+  /// compute packets for `dst` needing `p` go toward `next_hop`.
+  void set_compute_route(net::node_id at, net::prefix dst,
+                         proto::primitive_id p, net::node_id next_hop);
+
+  /// Built-in heuristic: for every (node, primitive, destination), steer
+  /// via the supporting site minimizing total path delay. The centralized
+  /// controller's optimizer (src/controller) produces better placements;
+  /// this gives examples/tests a working default. Also prepares the
+  /// spread-steering tables (below).
+  void install_compute_routes_via_nearest_site();
+
+  /// How compute packets pick among capable sites (§4: "this new policy
+  /// should mitigate congestion and achieve efficient load balancing").
+  enum class steering_policy : std::uint8_t {
+    nearest_site,  ///< all flows to the delay-optimal site (default)
+    flow_spread,   ///< hash flows across ALL capable sites — relieves a
+                   ///< hot serial engine at some path-stretch cost
+  };
+  void set_steering_policy(steering_policy p) { steering_ = p; }
+
+  /// Inject a packet at a node.
+  void submit(net::packet pkt, net::node_id ingress);
+
+  [[nodiscard]] net::wan_fabric& fabric() { return fabric_; }
+  [[nodiscard]] const net::wan_fabric& fabric() const { return fabric_; }
+  [[nodiscard]] net::simulator& sim() { return sim_; }
+
+  // ------------------------------------------------------------- results
+  struct delivery {
+    net::packet pkt;
+    net::node_id at = net::invalid_node;
+    double time_s = 0.0;
+  };
+  [[nodiscard]] const std::vector<delivery>& deliveries() const {
+    return deliveries_;
+  }
+  void clear_deliveries() { deliveries_.clear(); }
+
+  struct runtime_stats {
+    std::uint64_t computed = 0;             ///< packets computed at a site
+    std::uint64_t redirected = 0;           ///< compute-route redirects
+    std::uint64_t uncomputed_delivered = 0; ///< required compute never ran
+    std::uint64_t malformed_dropped = 0;    ///< bad compute headers dropped
+  };
+  [[nodiscard]] const runtime_stats& stats() const { return stats_; }
+
+  /// Aggregate compute latency spent at each site (indexed by node id;
+  /// 0 for nodes without engines).
+  [[nodiscard]] double site_busy_s(net::node_id at) const;
+
+ private:
+  struct site {
+    std::unique_ptr<photonic_engine> engine;
+    double busy_until_s = 0.0;  ///< serial analog engine availability
+    double total_busy_s = 0.0;
+    std::uint64_t computed = 0;
+  };
+
+  net::hook_decision on_packet(net::node_id at, net::packet& pkt, double now);
+
+  /// Per-packet fixed overhead at a compute site: optical preamble
+  /// detection (17 symbols on the P2 matcher) + result insertion.
+  [[nodiscard]] double site_overhead_s(const site& s) const;
+
+  net::simulator& sim_;
+  net::wan_fabric fabric_;
+  std::vector<std::unique_ptr<site>> sites_;  // indexed by node id
+  std::vector<proto::compute_routing_table<net::node_id>> compute_tables_;
+  std::vector<delivery> deliveries_;
+  runtime_stats stats_;
+
+  steering_policy steering_ = steering_policy::nearest_site;
+  /// Sites supporting each primitive (filled with the compute routes).
+  std::array<std::vector<net::node_id>,
+             static_cast<std::size_t>(proto::primitive_id::p1_p3_dnn) + 1>
+      capable_sites_{};
+  /// next_hop_toward_[u][v]: first hop of the shortest path u -> v
+  /// (invalid_node when unreachable), for spread steering.
+  std::vector<std::vector<net::node_id>> next_hop_toward_;
+};
+
+}  // namespace onfiber::core

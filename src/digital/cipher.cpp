@@ -1,0 +1,83 @@
+#include "digital/cipher.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace onfiber::digital {
+
+namespace {
+
+constexpr void quarter_round(std::uint32_t& a, std::uint32_t& b,
+                             std::uint32_t& c, std::uint32_t& d) {
+  a += b; d ^= a; d = std::rotl(d, 16);
+  c += d; b ^= c; b = std::rotl(b, 12);
+  a += b; d ^= a; d = std::rotl(d, 8);
+  c += d; b ^= c; b = std::rotl(b, 7);
+}
+
+}  // namespace
+
+stream_cipher::stream_cipher(std::span<const std::uint8_t> key_32bytes,
+                             std::uint64_t nonce) {
+  if (key_32bytes.size() != 32) {
+    throw std::invalid_argument("stream_cipher: key must be 32 bytes");
+  }
+  // "expand 32-byte k" constants.
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) {
+    const std::size_t off = static_cast<std::size_t>(i) * 4;
+    state_[static_cast<std::size_t>(4 + i)] =
+        std::uint32_t{key_32bytes[off]} |
+        (std::uint32_t{key_32bytes[off + 1]} << 8) |
+        (std::uint32_t{key_32bytes[off + 2]} << 16) |
+        (std::uint32_t{key_32bytes[off + 3]} << 24);
+  }
+  state_[12] = 0;  // counter low
+  state_[13] = 0;  // counter high
+  state_[14] = static_cast<std::uint32_t>(nonce & 0xffffffff);
+  state_[15] = static_cast<std::uint32_t>(nonce >> 32);
+}
+
+void stream_cipher::refill() {
+  std::array<std::uint32_t, 16> x = state_;
+  x[12] = static_cast<std::uint32_t>(counter_ & 0xffffffff);
+  x[13] = static_cast<std::uint32_t>(counter_ >> 32);
+  std::array<std::uint32_t, 16> w = x;
+  for (int round = 0; round < 4; ++round) {  // 8 rounds (4 double rounds)
+    quarter_round(w[0], w[4], w[8], w[12]);
+    quarter_round(w[1], w[5], w[9], w[13]);
+    quarter_round(w[2], w[6], w[10], w[14]);
+    quarter_round(w[3], w[7], w[11], w[15]);
+    quarter_round(w[0], w[5], w[10], w[15]);
+    quarter_round(w[1], w[6], w[11], w[12]);
+    quarter_round(w[2], w[7], w[8], w[13]);
+    quarter_round(w[3], w[4], w[9], w[14]);
+  }
+  for (std::size_t i = 0; i < 16; ++i) {
+    const std::uint32_t v = w[i] + x[i];
+    buffer_[i * 4 + 0] = static_cast<std::uint8_t>(v & 0xff);
+    buffer_[i * 4 + 1] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+    buffer_[i * 4 + 2] = static_cast<std::uint8_t>((v >> 16) & 0xff);
+    buffer_[i * 4 + 3] = static_cast<std::uint8_t>((v >> 24) & 0xff);
+  }
+  ++counter_;
+  buffer_used_ = 0;
+}
+
+void stream_cipher::apply(std::span<std::uint8_t> data) {
+  for (auto& byte : data) {
+    if (buffer_used_ >= buffer_.size()) refill();
+    byte ^= buffer_[buffer_used_++];
+  }
+}
+
+std::vector<std::uint8_t> stream_cipher::keystream(std::size_t n) {
+  std::vector<std::uint8_t> out(n, 0);
+  apply(out);
+  return out;
+}
+
+}  // namespace onfiber::digital

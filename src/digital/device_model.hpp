@@ -1,0 +1,79 @@
+// device_model.hpp — cost models of digital compute devices.
+//
+// The paper's §2.2 comparison points: TPU at ~1.05 GHz and 7e-14 J per
+// 8-bit MAC [28], GPU (A100) at ~1.41 GHz [2], photonics at 40 aJ/MAC
+// [50]. These models convert operation counts into latency and energy so
+// every use-case bench can print the photonic-vs-digital rows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace onfiber::digital {
+
+/// A digital accelerator/processor abstracted as (clock, parallelism,
+/// energy/op). Latency of N MACs = N / (clock * macs_per_cycle) + fixed
+/// offload overhead; energy = N * mac_j + memory traffic.
+struct device_model {
+  std::string name;
+  double clock_hz = 1e9;
+  double macs_per_cycle = 1.0;   ///< effective parallel MAC lanes used
+  double mac_energy_j = 1e-13;   ///< per 8-bit MAC
+  double sram_energy_j = 1e-12;  ///< per operand byte fetched
+  double offload_latency_s = 0.0;  ///< fixed invocation overhead
+
+  [[nodiscard]] double gemv_latency_s(std::uint64_t macs) const {
+    return offload_latency_s +
+           static_cast<double>(macs) / (clock_hz * macs_per_cycle);
+  }
+
+  [[nodiscard]] double gemv_energy_j(std::uint64_t macs,
+                                     std::uint64_t operand_bytes) const {
+    return static_cast<double>(macs) * mac_energy_j +
+           static_cast<double>(operand_bytes) * sram_energy_j;
+  }
+};
+
+/// TPU-class accelerator (paper §2.2: 1.05 GHz, 7e-14 J / 8-bit MAC).
+/// `macs_per_cycle` reflects a matrix unit but is kept modest so a single
+/// inference stream (the in-network scenario) does not fill the array.
+[[nodiscard]] inline device_model make_tpu_model() {
+  return device_model{.name = "TPU",
+                      .clock_hz = 1.05e9,
+                      .macs_per_cycle = 256.0,
+                      .mac_energy_j = 70e-15,
+                      .sram_energy_j = 1e-12,
+                      .offload_latency_s = 10e-6};
+}
+
+/// GPU-class accelerator (A100: 1.41 GHz boost clock).
+[[nodiscard]] inline device_model make_gpu_model() {
+  return device_model{.name = "GPU",
+                      .clock_hz = 1.41e9,
+                      .macs_per_cycle = 128.0,
+                      .mac_energy_j = 150e-15,
+                      .sram_energy_j = 1.5e-12,
+                      .offload_latency_s = 30e-6};
+}
+
+/// Edge-device CPU (the paper's "limited computing resources" tier).
+[[nodiscard]] inline device_model make_edge_cpu_model() {
+  return device_model{.name = "EdgeCPU",
+                      .clock_hz = 1.8e9,
+                      .macs_per_cycle = 4.0,
+                      .mac_energy_j = 5e-12,
+                      .sram_energy_j = 10e-12,
+                      .offload_latency_s = 1e-6};
+}
+
+/// Switch/router ASIC match-action stage (for the C2 network functions):
+/// per-lookup latency and energy of a TCAM access.
+struct asic_model {
+  double lookup_latency_s = 20e-9;
+  double tcam_lookup_energy_j = 5e-9;  ///< TCAMs are power hungry (§4, C2)
+  double sram_lookup_energy_j = 50e-12;
+};
+
+[[nodiscard]] inline asic_model make_router_asic_model() { return {}; }
+
+}  // namespace onfiber::digital

@@ -1,0 +1,279 @@
+#include "digital/dnn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace onfiber::digital {
+
+double apply_activation(activation_kind kind, double z, double scale) {
+  switch (kind) {
+    case activation_kind::relu:
+      return z > 0.0 ? z : 0.0;
+    case activation_kind::photonic_sin2: {
+      // Normalized P3 transfer: output power = input power x modulator
+      // transmission, so h(u) = u * sin^2(pi/2 * u) on u in [0, 1].
+      const double u = std::clamp(z / scale, 0.0, 1.0);
+      const double s = std::sin(0.5 * std::numbers::pi * u);
+      return u * s * s;
+    }
+  }
+  return 0.0;
+}
+
+double activation_derivative(activation_kind kind, double z, double scale) {
+  switch (kind) {
+    case activation_kind::relu:
+      return z > 0.0 ? 1.0 : 0.0;
+    case activation_kind::photonic_sin2: {
+      const double u = z / scale;
+      if (u <= 0.0 || u >= 1.0) return 0.0;
+      // d/dz [u sin^2(pi/2 u)] = (sin^2(pi/2 u) + u pi/2 sin(pi u)) / s
+      const double s = std::sin(0.5 * std::numbers::pi * u);
+      return (s * s +
+              u * 0.5 * std::numbers::pi * std::sin(std::numbers::pi * u)) /
+             scale;
+    }
+  }
+  return 0.0;
+}
+
+std::vector<double> infer_reference(const dnn_model& model,
+                                    std::span<const double> x) {
+  std::vector<double> act(x.begin(), x.end());
+  for (const auto& layer : model.layers) {
+    if (layer.weights.cols != act.size()) {
+      throw std::invalid_argument("infer_reference: dimension mismatch");
+    }
+    std::vector<double> next = phot::gemv_reference(layer.weights, act);
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      next[i] += layer.bias[i];
+      if (layer.relu) {
+        next[i] = apply_activation(model.activation, next[i],
+                                   model.activation_scale);
+      }
+    }
+    act = std::move(next);
+  }
+  return act;
+}
+
+namespace {
+
+[[nodiscard]] double quantize_sym(double v, double scale) {
+  // Symmetric int8 quantization around zero.
+  if (scale <= 0.0) return 0.0;
+  const double q = std::round(std::clamp(v / scale, -1.0, 1.0) * 127.0);
+  return q / 127.0 * scale;
+}
+
+[[nodiscard]] double max_abs(std::span<const double> v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+}  // namespace
+
+digital_inference_result infer_int8(const dnn_model& model,
+                                    std::span<const double> x,
+                                    const device_model& device) {
+  digital_inference_result out;
+  std::vector<double> act(x.begin(), x.end());
+  std::uint64_t total_macs = 0;
+  std::uint64_t total_bytes = 0;
+  for (const auto& layer : model.layers) {
+    if (layer.weights.cols != act.size()) {
+      throw std::invalid_argument("infer_int8: dimension mismatch");
+    }
+    // Quantize activations to int8 with a per-tensor scale.
+    const double a_scale = std::max(max_abs(act), 1e-12);
+    for (double& a : act) a = quantize_sym(a, a_scale);
+
+    std::vector<double> next(layer.weights.rows, 0.0);
+    for (std::size_t r = 0; r < layer.weights.rows; ++r) {
+      double acc = 0.0;
+      const auto row = layer.weights.row(r);
+      for (std::size_t c = 0; c < layer.weights.cols; ++c) {
+        // Weights already live in [-1,1]; quantize per-element.
+        acc += quantize_sym(row[c], 1.0) * act[c];
+      }
+      next[r] = acc + layer.bias[r];
+      if (layer.relu) {
+        next[r] = apply_activation(model.activation, next[r],
+                                   model.activation_scale);
+      }
+    }
+    total_macs +=
+        static_cast<std::uint64_t>(layer.weights.rows) * layer.weights.cols;
+    // Operand traffic: weights once + activations per row.
+    total_bytes +=
+        static_cast<std::uint64_t>(layer.weights.rows) * layer.weights.cols +
+        layer.weights.cols;
+    act = std::move(next);
+  }
+  out.logits = std::move(act);
+  out.latency_s = device.gemv_latency_s(total_macs);
+  out.energy_j = device.gemv_energy_j(total_macs, total_bytes);
+  return out;
+}
+
+std::size_t argmax(std::span<const double> v) {
+  if (v.empty()) throw std::invalid_argument("argmax: empty vector");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] > v[best]) best = i;
+  }
+  return best;
+}
+
+dataset make_synthetic_dataset(std::size_t dim, std::size_t classes,
+                               std::size_t per_class, double cluster_sigma,
+                               std::uint64_t seed) {
+  if (dim == 0 || classes == 0 || per_class == 0) {
+    throw std::invalid_argument("make_synthetic_dataset: empty shape");
+  }
+  phot::rng gen(seed);
+  dataset d;
+  d.dim = dim;
+  d.classes = classes;
+  // Class means well separated in [0.15, 0.85]^dim.
+  std::vector<std::vector<double>> means(classes);
+  for (auto& m : means) {
+    m.resize(dim);
+    for (double& v : m) v = gen.uniform(0.15, 0.85);
+  }
+  for (std::size_t c = 0; c < classes; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      std::vector<double> s(dim);
+      for (std::size_t k = 0; k < dim; ++k) {
+        s[k] = std::clamp(means[c][k] + gen.normal(0.0, cluster_sigma), 0.0,
+                          1.0);
+      }
+      d.samples.push_back(std::move(s));
+      d.labels.push_back(c);
+    }
+  }
+  return d;
+}
+
+dnn_model train_mlp(const dataset& data,
+                    const std::vector<std::size_t>& hidden_dims,
+                    std::size_t epochs, double learning_rate,
+                    std::uint64_t seed, activation_kind activation,
+                    double activation_scale) {
+  if (data.samples.empty()) {
+    throw std::invalid_argument("train_mlp: empty dataset");
+  }
+  if (activation_scale <= 0.0) {
+    throw std::invalid_argument("train_mlp: activation_scale must be > 0");
+  }
+  phot::rng gen(seed);
+
+  // Build layer dims: input -> hidden... -> classes.
+  std::vector<std::size_t> dims;
+  dims.push_back(data.dim);
+  for (std::size_t h : hidden_dims) dims.push_back(h);
+  dims.push_back(data.classes);
+
+  dnn_model model;
+  model.activation = activation;
+  model.activation_scale = activation_scale;
+  for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+    dense_layer layer;
+    layer.weights = phot::matrix(dims[l + 1], dims[l]);
+    layer.bias.assign(dims[l + 1], 0.0);
+    layer.relu = (l + 2 < dims.size());  // no activation on the output layer
+    const double scale = std::sqrt(2.0 / static_cast<double>(dims[l]));
+    for (double& w : layer.weights.data) w = gen.normal(0.0, scale);
+    model.layers.push_back(std::move(layer));
+  }
+
+  const std::size_t n = data.samples.size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    // Deterministic Fisher-Yates shuffle.
+    for (std::size_t i = n - 1; i > 0; --i) {
+      std::swap(order[i], order[gen.below(i + 1)]);
+    }
+    for (std::size_t idx : order) {
+      const auto& x = data.samples[idx];
+      const std::size_t label = data.labels[idx];
+
+      // Forward pass, keeping activations and pre-activations.
+      std::vector<std::vector<double>> acts;      // post-activation
+      std::vector<std::vector<double>> preacts;   // z = Wx + b per layer
+      acts.emplace_back(x.begin(), x.end());
+      for (const auto& layer : model.layers) {
+        std::vector<double> z = phot::gemv_reference(layer.weights,
+                                                     acts.back());
+        for (std::size_t i = 0; i < z.size(); ++i) z[i] += layer.bias[i];
+        preacts.push_back(z);
+        if (layer.relu) {
+          for (double& v : z) {
+            v = apply_activation(activation, v, activation_scale);
+          }
+        }
+        acts.push_back(std::move(z));
+      }
+
+      // Softmax cross-entropy gradient at the output.
+      std::vector<double>& logits = acts.back();
+      double mx = *std::max_element(logits.begin(), logits.end());
+      double sum = 0.0;
+      std::vector<double> grad(logits.size());
+      for (std::size_t i = 0; i < logits.size(); ++i) {
+        grad[i] = std::exp(logits[i] - mx);
+        sum += grad[i];
+      }
+      for (std::size_t i = 0; i < grad.size(); ++i) {
+        grad[i] = grad[i] / sum - (i == label ? 1.0 : 0.0);
+      }
+
+      // Backward pass.
+      for (std::size_t l = model.layers.size(); l-- > 0;) {
+        dense_layer& layer = model.layers[l];
+        const std::vector<double>& input = acts[l];
+        const std::vector<double>& z = preacts[l];
+
+        if (layer.relu) {
+          for (std::size_t i = 0; i < grad.size(); ++i) {
+            grad[i] *= activation_derivative(activation, z[i],
+                                             activation_scale);
+          }
+        }
+
+        std::vector<double> grad_in(layer.weights.cols, 0.0);
+        for (std::size_t r = 0; r < layer.weights.rows; ++r) {
+          const double g = grad[r];
+          layer.bias[r] -= learning_rate * g;
+          for (std::size_t c = 0; c < layer.weights.cols; ++c) {
+            grad_in[c] += layer.weights.at(r, c) * g;
+            double w = layer.weights.at(r, c) - learning_rate * g * input[c];
+            // Keep weights in the photonic engine's dynamic range.
+            layer.weights.at(r, c) = std::clamp(w, -1.0, 1.0);
+          }
+        }
+        grad = std::move(grad_in);
+      }
+    }
+  }
+  return model;
+}
+
+double reference_accuracy(const dnn_model& model, const dataset& data) {
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.samples.size(); ++i) {
+    const auto logits = infer_reference(model, data.samples[i]);
+    if (argmax(logits) == data.labels[i]) ++correct;
+  }
+  return data.samples.empty()
+             ? 0.0
+             : static_cast<double>(correct) /
+                   static_cast<double>(data.samples.size());
+}
+
+}  // namespace onfiber::digital

@@ -1,0 +1,88 @@
+// address.hpp — IPv4-style addressing and prefixes for the WAN simulator.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace onfiber::net {
+
+/// IPv4 address as a host-order 32-bit integer.
+struct ipv4 {
+  std::uint32_t value = 0;
+
+  constexpr ipv4() = default;
+  explicit constexpr ipv4(std::uint32_t v) : value(v) {}
+  constexpr ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                 std::uint8_t d)
+      : value((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  auto operator<=>(const ipv4&) const = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string(value >> 24) + "." +
+           std::to_string((value >> 16) & 0xff) + "." +
+           std::to_string((value >> 8) & 0xff) + "." +
+           std::to_string(value & 0xff);
+  }
+};
+
+/// Parse dotted-quad text (throws std::invalid_argument on bad input).
+[[nodiscard]] inline ipv4 parse_ipv4(const std::string& text) {
+  std::uint32_t parts[4] = {0, 0, 0, 0};
+  int part = 0;
+  bool digit_seen = false;
+  for (char ch : text) {
+    if (ch == '.') {
+      if (!digit_seen || part == 3) {
+        throw std::invalid_argument("parse_ipv4: malformed address " + text);
+      }
+      ++part;
+      digit_seen = false;
+    } else if (ch >= '0' && ch <= '9') {
+      parts[part] = parts[part] * 10 + static_cast<std::uint32_t>(ch - '0');
+      if (parts[part] > 255) {
+        throw std::invalid_argument("parse_ipv4: octet > 255 in " + text);
+      }
+      digit_seen = true;
+    } else {
+      throw std::invalid_argument("parse_ipv4: bad character in " + text);
+    }
+  }
+  if (!digit_seen || part != 3) {
+    throw std::invalid_argument("parse_ipv4: malformed address " + text);
+  }
+  return ipv4(static_cast<std::uint8_t>(parts[0]),
+              static_cast<std::uint8_t>(parts[1]),
+              static_cast<std::uint8_t>(parts[2]),
+              static_cast<std::uint8_t>(parts[3]));
+}
+
+/// CIDR prefix: address/length.
+struct prefix {
+  ipv4 network{};
+  int length = 0;  ///< 0..32
+
+  constexpr prefix() = default;
+  constexpr prefix(ipv4 net, int len) : network(net), length(len) {}
+
+  /// Mask with the top `length` bits set.
+  [[nodiscard]] constexpr std::uint32_t mask() const {
+    return length == 0 ? 0U : ~std::uint32_t{0} << (32 - length);
+  }
+
+  /// Does this prefix cover the address?
+  [[nodiscard]] constexpr bool contains(ipv4 addr) const {
+    return (addr.value & mask()) == (network.value & mask());
+  }
+
+  auto operator<=>(const prefix&) const = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return network.to_string() + "/" + std::to_string(length);
+  }
+};
+
+}  // namespace onfiber::net

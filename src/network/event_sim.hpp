@@ -1,0 +1,84 @@
+// event_sim.hpp — minimal deterministic discrete-event simulator.
+//
+// Single-threaded, strictly ordered by (time, sequence-number) so runs are
+// bit-reproducible. Everything in the WAN model — link propagation,
+// transponder processing, controller reconfiguration — is an event.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace onfiber::net {
+
+class simulator {
+ public:
+  using handler = std::function<void()>;
+
+  /// Current simulation time [s].
+  [[nodiscard]] double now() const { return now_s_; }
+
+  /// Schedule `fn` to run at now() + delay_s. Requires delay_s >= 0.
+  void schedule(double delay_s, handler fn) {
+    schedule_at(now_s_ + (delay_s < 0.0 ? 0.0 : delay_s), std::move(fn));
+  }
+
+  /// Schedule `fn` at an absolute time (clamped to now()).
+  void schedule_at(double time_s, handler fn) {
+    if (time_s < now_s_) time_s = now_s_;
+    queue_.push(event{time_s, next_seq_++, std::move(fn)});
+  }
+
+  /// Run until the event queue drains. Returns executed event count.
+  std::uint64_t run() {
+    std::uint64_t executed = 0;
+    while (!queue_.empty()) {
+      step();
+      ++executed;
+    }
+    return executed;
+  }
+
+  /// Run until the queue drains or simulated time exceeds `until_s`.
+  std::uint64_t run_until(double until_s) {
+    std::uint64_t executed = 0;
+    while (!queue_.empty() && queue_.top().time_s <= until_s) {
+      step();
+      ++executed;
+    }
+    if (now_s_ < until_s) now_s_ = until_s;
+    return executed;
+  }
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct event {
+    double time_s;
+    std::uint64_t seq;
+    handler fn;
+  };
+
+  struct later {
+    bool operator()(const event& a, const event& b) const {
+      if (a.time_s != b.time_s) return a.time_s > b.time_s;
+      return a.seq > b.seq;  // FIFO among simultaneous events
+    }
+  };
+
+  void step() {
+    // Move the event out before running it: the handler may schedule.
+    event ev = std::move(const_cast<event&>(queue_.top()));
+    queue_.pop();
+    now_s_ = ev.time_s;
+    ev.fn();
+  }
+
+  double now_s_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<event, std::vector<event>, later> queue_;
+};
+
+}  // namespace onfiber::net

@@ -1,0 +1,157 @@
+#include "network/fabric.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace onfiber::net {
+
+wan_fabric::wan_fabric(simulator& sim, topology topo)
+    : sim_(sim),
+      topo_(std::move(topo)),
+      tables_(topo_.node_count()),
+      hooks_(topo_.node_count()),
+      link_free_at_(topo_.links().size(), std::array<double, 2>{0.0, 0.0}),
+      link_bytes_(topo_.links().size(), 0.0),
+      link_up_(topo_.links().size(), true) {}
+
+void wan_fabric::install_shortest_path_routes() {
+  const auto n = static_cast<node_id>(topo_.node_count());
+  for (node_id src = 0; src < n; ++src) {
+    for (node_id dst = 0; dst < n; ++dst) {
+      if (src == dst) continue;
+      const auto path = topo_.shortest_path(src, dst, &link_up_);
+      if (path.size() < 2) {
+        // Unreachable (possibly due to failures): retract any stale route.
+        tables_[src].erase(topo_.node_at(dst).attached_prefix);
+        continue;
+      }
+      tables_[src].insert(topo_.node_at(dst).attached_prefix,
+                          route_entry{path[1]});
+    }
+  }
+}
+
+void wan_fabric::fail_link(std::size_t link_index) {
+  link_up_.at(link_index) = false;
+}
+
+void wan_fabric::restore_link(std::size_t link_index) {
+  link_up_.at(link_index) = true;
+}
+
+void wan_fabric::set_hook(node_id at, hook_fn hook) {
+  if (at >= hooks_.size()) throw std::out_of_range("wan_fabric: bad node");
+  hooks_[at] = std::move(hook);
+}
+
+void wan_fabric::send(packet pkt, node_id ingress) {
+  if (ingress >= topo_.node_count()) {
+    throw std::out_of_range("wan_fabric: bad ingress node");
+  }
+  sim_.schedule(0.0, [this, pkt = std::move(pkt), ingress]() mutable {
+    arrive(std::move(pkt), ingress);
+  });
+}
+
+void wan_fabric::set_bit_error_rate(double ber, std::uint64_t seed) {
+  if (ber < 0.0 || ber >= 1.0) {
+    throw std::invalid_argument("wan_fabric: BER must be in [0, 1)");
+  }
+  bit_error_rate_ = ber;
+  error_gen_ = phot::rng{seed};
+}
+
+void wan_fabric::apply_bit_errors(packet& pkt) {
+  if (bit_error_rate_ <= 0.0 || pkt.payload.empty()) return;
+  const double bits = static_cast<double>(pkt.payload.size()) * 8.0;
+  const std::uint64_t flips = error_gen_.poisson(bit_error_rate_ * bits);
+  if (flips == 0) return;
+  ++corrupted_;
+  for (std::uint64_t i = 0; i < flips; ++i) {
+    const std::uint64_t bit =
+        error_gen_.below(static_cast<std::uint64_t>(bits));
+    pkt.payload[bit / 8] ^= static_cast<std::uint8_t>(1U << (bit % 8));
+  }
+}
+
+std::size_t wan_fabric::egress_link(node_id from, node_id next) const {
+  for (std::size_t li : topo_.incident_links(from)) {
+    if (topo_.neighbor(from, li) == next) return li;
+  }
+  throw std::invalid_argument("wan_fabric: no link toward next hop");
+}
+
+void wan_fabric::forward_to(packet pkt, node_id from, node_id next) {
+  const std::size_t li = egress_link(from, next);
+  if (!link_up_[li]) {
+    // Black-holed until routing reconverges.
+    ++dropped_;
+    return;
+  }
+  const link& l = topo_.links()[li];
+  const int dir = l.a == from ? 0 : 1;
+
+  const double bits = static_cast<double>(pkt.wire_bytes()) * 8.0;
+  const double serialize_s = bits / l.capacity_bps;
+  const double now = sim_.now();
+
+  // FIFO queueing: wait until the transmitter frees up.
+  double start = link_free_at_[li][static_cast<std::size_t>(dir)];
+  if (start < now) start = now;
+  const double done = start + serialize_s;
+  link_free_at_[li][static_cast<std::size_t>(dir)] = done;
+  link_bytes_[li] += static_cast<double>(pkt.wire_bytes());
+
+  const double arrival = done + l.delay_s();
+  apply_bit_errors(pkt);
+  sim_.schedule_at(arrival, [this, pkt = std::move(pkt), next]() mutable {
+    arrive(std::move(pkt), next);
+  });
+}
+
+void wan_fabric::arrive(packet pkt, node_id at) {
+  // Node-level intercept (compute transponder attach point).
+  if (hooks_[at]) {
+    const hook_decision d = hooks_[at](at, pkt, sim_.now());
+    switch (d.action) {
+      case hook_decision::action_type::consume:
+        return;
+      case hook_decision::action_type::drop:
+        ++dropped_;
+        return;
+      case hook_decision::action_type::redirect:
+        if (d.redirect_to == invalid_node ||
+            d.redirect_to >= topo_.node_count()) {
+          ++dropped_;
+          return;
+        }
+        if (pkt.ttl == 0) {
+          ++dropped_;
+          return;
+        }
+        --pkt.ttl;
+        forward_to(std::move(pkt), at, d.redirect_to);
+        return;
+      case hook_decision::action_type::continue_forwarding:
+        break;
+    }
+  }
+
+  // Local delivery?
+  if (topo_.node_at(at).attached_prefix.contains(pkt.dst)) {
+    ++delivered_;
+    if (on_deliver_) on_deliver_(pkt, at, sim_.now());
+    return;
+  }
+
+  // LPM forwarding.
+  const auto entry = tables_[at].lookup(pkt.dst);
+  if (!entry || pkt.ttl == 0) {
+    ++dropped_;
+    return;
+  }
+  --pkt.ttl;
+  forward_to(std::move(pkt), at, entry->next);
+}
+
+}  // namespace onfiber::net

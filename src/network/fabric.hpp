@@ -1,0 +1,123 @@
+// fabric.hpp — the packet-forwarding WAN: topology + routers + links,
+// driven by the discrete-event simulator.
+//
+// Each node runs a longest-prefix-match router. Links model serialization
+// (bytes/capacity) plus fiber propagation delay, with FIFO queueing per
+// link direction. A per-node intercept hook lets higher layers (the
+// on-fiber runtime in src/core) examine and mutate packets in flight and
+// override forwarding — that hook is exactly where photonic compute
+// transponders attach, mirroring Fig. 4's "transponder plugged into the
+// router" placement.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "network/event_sim.hpp"
+#include "network/packet.hpp"
+#include "network/routing.hpp"
+#include "network/topology.hpp"
+#include "photonics/rng.hpp"
+
+namespace onfiber::net {
+
+/// What a node-level hook wants done with a packet.
+struct hook_decision {
+  enum class action_type {
+    continue_forwarding,  ///< normal LPM forwarding
+    redirect,             ///< forward toward `redirect_to` instead
+    consume,              ///< packet is absorbed at this node
+    drop,                 ///< discard (counts as a drop)
+  };
+  action_type action = action_type::continue_forwarding;
+  node_id redirect_to = invalid_node;
+};
+
+class wan_fabric {
+ public:
+  /// Called when a packet reaches the node owning its destination prefix.
+  using deliver_fn = std::function<void(const packet&, node_id, double)>;
+  /// Per-node intercept, called on every packet transiting the node
+  /// (including at the destination, before delivery).
+  using hook_fn = std::function<hook_decision(node_id, packet&, double)>;
+
+  wan_fabric(simulator& sim, topology topo);
+
+  /// Install shortest-path (by delay) routes for every node pair,
+  /// avoiding failed links. Call again after fail_link/restore_link to
+  /// reconverge.
+  void install_shortest_path_routes();
+
+  /// Take a link out of service: packets queued onto it are lost, routes
+  /// keep pointing at it until reinstalled (the reconvergence window).
+  void fail_link(std::size_t link_index);
+  void restore_link(std::size_t link_index);
+  [[nodiscard]] bool link_is_up(std::size_t link_index) const {
+    return link_up_.at(link_index);
+  }
+  /// Current link states (for higher layers computing their own paths).
+  [[nodiscard]] const std::vector<bool>& links_up() const { return link_up_; }
+
+  /// Install or replace the intercept hook at one node.
+  void set_hook(node_id at, hook_fn hook);
+
+  void set_deliver_callback(deliver_fn cb) { on_deliver_ = std::move(cb); }
+
+  /// Inject a packet at a node; forwarding begins immediately.
+  void send(packet pkt, node_id ingress);
+
+  /// Failure injection: flip payload bits with this per-bit probability
+  /// on every link traversal (uncorrected post-FEC error floor). 0
+  /// disables. Deterministic per seed.
+  void set_bit_error_rate(double ber, std::uint64_t seed);
+
+  /// Packets that suffered at least one bit flip so far.
+  [[nodiscard]] std::uint64_t corrupted() const { return corrupted_; }
+
+  [[nodiscard]] const topology& topo() const { return topo_; }
+  [[nodiscard]] simulator& sim() { return sim_; }
+
+  // ------------------------------------------------------------- stats
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  /// Bytes carried per link index (both directions), for load metrics.
+  [[nodiscard]] const std::vector<double>& link_bytes() const {
+    return link_bytes_;
+  }
+
+ private:
+  struct route_entry {
+    node_id next = invalid_node;
+  };
+
+  void arrive(packet pkt, node_id at);
+  void forward_to(packet pkt, node_id from, node_id next);
+
+  /// Egress link index from `from` toward adjacent `next`.
+  [[nodiscard]] std::size_t egress_link(node_id from, node_id next) const;
+
+  simulator& sim_;
+  topology topo_;
+  std::vector<routing_table<route_entry>> tables_;  // one per node
+  std::vector<hook_fn> hooks_;                      // one per node (may be null)
+  deliver_fn on_deliver_;
+
+  /// Maybe corrupt a packet in flight (failure injection).
+  void apply_bit_errors(packet& pkt);
+
+  // Per-link, per-direction transmit availability time (FIFO model).
+  // Direction 0: a->b, 1: b->a.
+  std::vector<std::array<double, 2>> link_free_at_;
+  std::vector<double> link_bytes_;
+
+  double bit_error_rate_ = 0.0;
+  phot::rng error_gen_{0};
+  std::uint64_t corrupted_ = 0;
+  std::vector<bool> link_up_;
+
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace onfiber::net

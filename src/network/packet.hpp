@@ -1,0 +1,63 @@
+// packet.hpp — the simulator's packet representation.
+//
+// A deliberately small IP-like header plus an opaque byte payload. The
+// compute-communication protocol (src/protocol) layers its own header
+// inside the payload, exactly as the paper proposes ("layered on top of
+// the IP header", §3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "network/address.hpp"
+
+namespace onfiber::net {
+
+/// Transport protocol selector. `compute` marks packets that carry an
+/// on-fiber compute header as the first payload bytes.
+enum class ip_proto : std::uint8_t {
+  udp = 17,
+  tcp = 6,
+  compute = 253,  ///< experimental/testing value per RFC 3692
+};
+
+/// Simulator packet. Copyable; payload is owned.
+struct packet {
+  // --- wire-visible fields -------------------------------------------
+  ipv4 src{};
+  ipv4 dst{};
+  std::uint8_t ttl = 64;
+  ip_proto proto = ip_proto::udp;
+  std::vector<std::uint8_t> payload;
+
+  // --- simulation bookkeeping (not on the wire) ----------------------
+  std::uint64_t id = 0;           ///< unique per simulation
+  double created_s = 0.0;         ///< creation timestamp
+  std::uint32_t flow_hash = 0;    ///< 5-tuple-style hash for ECMP/LB
+
+  /// Serialized size on the wire [bytes]: 20-byte IP header + payload.
+  [[nodiscard]] std::size_t wire_bytes() const {
+    return 20 + payload.size();
+  }
+};
+
+/// FNV-1a over the fields that define a flow; used for ECMP hashing.
+[[nodiscard]] inline std::uint32_t flow_hash_of(ipv4 src, ipv4 dst,
+                                                std::uint16_t src_port,
+                                                std::uint16_t dst_port,
+                                                std::uint8_t proto) {
+  std::uint32_t h = 2166136261U;
+  const auto mix = [&h](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      h ^= (v >> (8 * i)) & 0xffU;
+      h *= 16777619U;
+    }
+  };
+  mix(src.value);
+  mix(dst.value);
+  mix((std::uint32_t{src_port} << 16) | dst_port);
+  mix(proto);
+  return h;
+}
+
+}  // namespace onfiber::net

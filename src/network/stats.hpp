@@ -1,0 +1,90 @@
+// stats.hpp — small statistics helpers used by tests and benches.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace onfiber::net {
+
+/// Accumulates samples and reports summary statistics.
+class summary {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+  [[nodiscard]] double mean() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : samples_) s += x;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  [[nodiscard]] double stddev() const {
+    if (samples_.size() < 2) return 0.0;
+    const double m = mean();
+    double s = 0.0;
+    for (double x : samples_) s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(samples_.size() - 1));
+  }
+
+  [[nodiscard]] double min() const {
+    ensure_sorted();
+    return samples_.empty() ? 0.0 : samples_.front();
+  }
+
+  [[nodiscard]] double max() const {
+    ensure_sorted();
+    return samples_.empty() ? 0.0 : samples_.back();
+  }
+
+  /// Percentile in [0, 100] by nearest-rank on the sorted samples.
+  [[nodiscard]] double percentile(double pct) const {
+    if (samples_.empty()) return 0.0;
+    if (pct < 0.0 || pct > 100.0) {
+      throw std::invalid_argument("summary: percentile out of range");
+    }
+    ensure_sorted();
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(pct / 100.0 * static_cast<double>(samples_.size())));
+    const std::size_t idx = rank == 0 ? 0 : rank - 1;
+    return samples_[std::min(idx, samples_.size() - 1)];
+  }
+
+  [[nodiscard]] const std::vector<double>& samples() const {
+    ensure_sorted();
+    return samples_;
+  }
+
+ private:
+  void ensure_sorted() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Jain's fairness index of a load vector: (sum x)^2 / (n * sum x^2).
+/// 1.0 == perfectly balanced; 1/n == all load on one element.
+[[nodiscard]] inline double jain_fairness(const std::vector<double>& loads) {
+  if (loads.empty()) return 1.0;
+  double sum = 0.0, sq = 0.0;
+  for (double x : loads) {
+    sum += x;
+    sq += x * x;
+  }
+  if (sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(loads.size()) * sq);
+}
+
+}  // namespace onfiber::net

@@ -1,0 +1,80 @@
+#include "network/traffic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace onfiber::net {
+
+traffic_generator::traffic_generator(traffic_config config, ipv4 src,
+                                     ipv4 dst, std::uint64_t seed)
+    : config_(config), src_(src), dst_(dst), gen_(seed) {
+  if (config_.packet_rate_pps <= 0.0) {
+    throw std::invalid_argument("traffic_generator: rate must be positive");
+  }
+  if (config_.min_payload_bytes > config_.max_payload_bytes) {
+    throw std::invalid_argument("traffic_generator: min > max payload");
+  }
+  if (config_.flow_count == 0) {
+    throw std::invalid_argument("traffic_generator: need >= 1 flow");
+  }
+}
+
+arrival traffic_generator::next_arrival(double at) {
+  arrival a;
+  a.time_s = at;
+  a.pkt.src = src_;
+  a.pkt.dst = dst_;
+  a.pkt.id = next_id_++;
+  a.pkt.created_s = at;
+  const std::size_t span_bytes =
+      config_.max_payload_bytes - config_.min_payload_bytes;
+  const std::size_t size =
+      config_.min_payload_bytes +
+      (span_bytes == 0 ? 0 : static_cast<std::size_t>(gen_.below(span_bytes + 1)));
+  a.pkt.payload.resize(size);
+  fill_random_bytes(a.pkt.payload, gen_());
+  // Pick a synthetic flow: port pair derived from flow index.
+  const auto flow = static_cast<std::uint16_t>(gen_.below(config_.flow_count));
+  a.pkt.flow_hash = flow_hash_of(src_, dst_,
+                                 static_cast<std::uint16_t>(10000 + flow),
+                                 443, static_cast<std::uint8_t>(a.pkt.proto));
+  return a;
+}
+
+std::vector<arrival> traffic_generator::generate(double horizon_s) {
+  std::vector<arrival> out;
+  double t = gen_.exponential(config_.packet_rate_pps);
+  while (t < horizon_s) {
+    out.push_back(next_arrival(t));
+    t += gen_.exponential(config_.packet_rate_pps);
+  }
+  return out;
+}
+
+std::vector<arrival> traffic_generator::generate_count(std::size_t n) {
+  std::vector<arrival> out;
+  out.reserve(n);
+  double t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(next_arrival(t));
+    t += gen_.exponential(config_.packet_rate_pps);
+  }
+  return out;
+}
+
+void fill_random_bytes(std::span<std::uint8_t> out, std::uint64_t seed) {
+  phot::rng gen(seed);
+  for (auto& b : out) b = static_cast<std::uint8_t>(gen.below(256));
+}
+
+void plant_signature(std::span<std::uint8_t> payload,
+                     std::span<const std::uint8_t> signature,
+                     std::size_t offset) {
+  if (offset + signature.size() > payload.size()) {
+    throw std::invalid_argument("plant_signature: signature out of bounds");
+  }
+  std::copy(signature.begin(), signature.end(), payload.begin() +
+            static_cast<std::ptrdiff_t>(offset));
+}
+
+}  // namespace onfiber::net

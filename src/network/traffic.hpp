@@ -1,0 +1,62 @@
+// traffic.hpp — deterministic synthetic traffic generation.
+//
+// Substitutes for the production traces the paper's evaluation would need
+// (see DESIGN.md): Poisson packet/flow arrivals with configurable size
+// distributions, plus payload fillers with optional planted byte
+// signatures (ground truth for the intrusion-detection use case).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "network/packet.hpp"
+#include "photonics/rng.hpp"
+
+namespace onfiber::net {
+
+struct traffic_config {
+  double packet_rate_pps = 1e5;      ///< mean Poisson arrival rate
+  std::size_t min_payload_bytes = 64;
+  std::size_t max_payload_bytes = 1400;
+  std::uint16_t flow_count = 16;     ///< distinct synthetic 5-tuples
+};
+
+/// One generated arrival.
+struct arrival {
+  double time_s = 0.0;
+  packet pkt;
+};
+
+/// Poisson packet source between a fixed src/dst address pair.
+class traffic_generator {
+ public:
+  traffic_generator(traffic_config config, ipv4 src, ipv4 dst,
+                    std::uint64_t seed);
+
+  /// Generate all arrivals in [0, horizon_s), timestamps increasing.
+  [[nodiscard]] std::vector<arrival> generate(double horizon_s);
+
+  /// Generate exactly n arrivals starting at time 0.
+  [[nodiscard]] std::vector<arrival> generate_count(std::size_t n);
+
+ private:
+  [[nodiscard]] arrival next_arrival(double at);
+
+  traffic_config config_;
+  ipv4 src_;
+  ipv4 dst_;
+  phot::rng gen_;
+  std::uint64_t next_id_ = 1;
+};
+
+/// Fill `out` with pseudo-random bytes from `seed` (deterministic).
+void fill_random_bytes(std::span<std::uint8_t> out, std::uint64_t seed);
+
+/// Plant `signature` into `payload` at `offset` (for IDS ground truth).
+/// Requires offset + signature.size() <= payload.size().
+void plant_signature(std::span<std::uint8_t> payload,
+                     std::span<const std::uint8_t> signature,
+                     std::size_t offset);
+
+}  // namespace onfiber::net

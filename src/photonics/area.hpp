@@ -1,0 +1,137 @@
+// area.hpp — chip-area model for the photonic engine.
+//
+// §5 ("Form factor"): "Our proposed scheme necessitates incorporating
+// supplementary components ... leading to increased chip area and power
+// consumption of transponders. We leave an in-depth analysis of the chip
+// area for future work." This module is that analysis, at the fidelity a
+// simulation can support: per-component silicon-photonics footprints from
+// the foundry-PDK literature, composed into engine-level area estimates
+// and checked against pluggable form-factor budgets.
+#pragma once
+
+#include <cstddef>
+
+namespace onfiber::phot {
+
+/// Component footprints [mm^2] for a standard silicon-photonics process
+/// (AIM/IMEC PDK-class device sizes; electronics in an adjacent ASIC).
+struct component_areas {
+  double laser_mm2 = 0.5;            ///< hybrid-integrated DFB + coupler
+  double mzm_modulator_mm2 = 1.2;    ///< traveling-wave MZM
+  double phase_modulator_mm2 = 0.6;
+  double photodetector_mm2 = 0.05;   ///< Ge-on-Si PD
+  double tia_mm2 = 0.10;             ///< transimpedance amplifier (ASIC)
+  double dac_mm2 = 0.30;             ///< 8-bit multi-GS/s DAC (ASIC)
+  double adc_mm2 = 0.50;             ///< 8-bit multi-GS/s ADC (ASIC)
+  double coupler_mm2 = 0.01;
+  double control_logic_mm2 = 2.0;    ///< digital config/control block
+  double memory_mm2_per_kb = 0.02;   ///< task weights/patterns SRAM
+};
+
+/// Area of one P1 dot-product lane (Fig. 2a): laser + 2 MZM + PD + TIA +
+/// 2 DAC + 1 ADC.
+[[nodiscard]] inline double p1_lane_area_mm2(const component_areas& c = {}) {
+  return c.laser_mm2 + 2.0 * c.mzm_modulator_mm2 + c.photodetector_mm2 +
+         c.tia_mm2 + 2.0 * c.dac_mm2 + c.adc_mm2;
+}
+
+/// Area of one P2 correlator (Fig. 2b): laser + 2 phase modulators +
+/// coupler + 2 PD + TIA + ADC.
+[[nodiscard]] inline double p2_correlator_area_mm2(
+    const component_areas& c = {}) {
+  return c.laser_mm2 + 2.0 * c.phase_modulator_mm2 + c.coupler_mm2 +
+         2.0 * (c.photodetector_mm2 + c.tia_mm2) + c.adc_mm2;
+}
+
+/// Area of one P3 nonlinear unit (Fig. 2c): tap coupler + PD + TIA + MZM.
+[[nodiscard]] inline double p3_unit_area_mm2(const component_areas& c = {}) {
+  return c.coupler_mm2 + c.photodetector_mm2 + c.tia_mm2 +
+         c.mzm_modulator_mm2;
+}
+
+/// Full photonic engine: `p1_lanes` WDM GEMV lanes + one P2 correlator +
+/// one P3 unit + control logic + task memory.
+[[nodiscard]] inline double engine_area_mm2(std::size_t p1_lanes,
+                                            double task_memory_kb,
+                                            const component_areas& c = {}) {
+  return static_cast<double>(p1_lanes) * p1_lane_area_mm2(c) +
+         p2_correlator_area_mm2(c) + p3_unit_area_mm2(c) +
+         c.control_logic_mm2 + task_memory_kb * c.memory_mm2_per_kb;
+}
+
+/// Usable die budgets of pluggable transponder form factors [mm^2]
+/// (board area available for the photonic/electronic engine chiplets on
+/// top of the existing coherent components).
+struct form_factor_budget {
+  const char* name;
+  double budget_mm2;
+};
+
+inline constexpr form_factor_budget qsfp_dd{"QSFP-DD", 120.0};
+inline constexpr form_factor_budget osfp{"OSFP", 180.0};
+inline constexpr form_factor_budget cfp2{"CFP2-DCO", 450.0};
+
+/// Does an engine with `p1_lanes` lanes fit the form factor?
+[[nodiscard]] inline bool fits(const form_factor_budget& ff,
+                               std::size_t p1_lanes, double task_memory_kb,
+                               const component_areas& c = {}) {
+  return engine_area_mm2(p1_lanes, task_memory_kb, c) <= ff.budget_mm2;
+}
+
+/// Largest lane count that fits the form factor (0 if even one lane
+/// does not fit).
+[[nodiscard]] inline std::size_t max_lanes(const form_factor_budget& ff,
+                                           double task_memory_kb,
+                                           const component_areas& c = {}) {
+  std::size_t lanes = 0;
+  while (fits(ff, lanes + 1, task_memory_kb, c)) ++lanes;
+  return lanes;
+}
+
+// ------------------------------------------------------------ wall power
+
+/// Static (wall) power of the engine's components [W]. Marginal per-op
+/// energies live in energy_costs; this is the always-on part that counts
+/// against a pluggable module's power class.
+struct component_power {
+  double laser_w = 0.35;       ///< DFB + TEC share, per lane
+  double modulator_driver_w = 0.45;  ///< per MZM driver at 10 GBd
+  double tia_w = 0.15;
+  double dac_w = 0.30;         ///< per 8-bit multi-GS/s DAC
+  double adc_w = 0.45;
+  double control_w = 1.5;      ///< digital control/config block
+};
+
+/// Wall power of one P1 lane: laser + 2 drivers + TIA + 2 DAC + ADC.
+[[nodiscard]] inline double p1_lane_power_w(const component_power& p = {}) {
+  return p.laser_w + 2.0 * p.modulator_driver_w + p.tia_w + 2.0 * p.dac_w +
+         p.adc_w;
+}
+
+/// Wall power of the full engine with `p1_lanes` lanes (P2/P3 units are
+/// a small constant on top; folded into control here).
+[[nodiscard]] inline double engine_power_w(std::size_t p1_lanes,
+                                           const component_power& p = {}) {
+  return static_cast<double>(p1_lanes) * p1_lane_power_w(p) + p.control_w;
+}
+
+/// Power classes of pluggable modules [W] (max module dissipation).
+struct power_budget {
+  const char* name;
+  double watts;
+};
+inline constexpr power_budget qsfp_dd_power{"QSFP-DD (class 8)", 25.0};
+inline constexpr power_budget osfp_power{"OSFP", 33.0};
+inline constexpr power_budget cfp2_power{"CFP2-DCO", 40.0};
+
+/// Max lanes under a power budget, leaving `reserved_w` for the existing
+/// coherent transponder functions.
+[[nodiscard]] inline std::size_t max_lanes_by_power(
+    const power_budget& budget, double reserved_w,
+    const component_power& p = {}) {
+  std::size_t lanes = 0;
+  while (engine_power_w(lanes + 1, p) + reserved_w <= budget.watts) ++lanes;
+  return lanes;
+}
+
+}  // namespace onfiber::phot

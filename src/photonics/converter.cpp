@@ -1,0 +1,86 @@
+#include "photonics/converter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace onfiber::phot {
+
+double quantize_to_grid(double value, double full_scale, int bits) {
+  const double clipped = std::clamp(value, 0.0, full_scale);
+  const double levels = static_cast<double>((1ULL << bits) - 1);
+  return std::round(clipped / full_scale * levels) / levels * full_scale;
+}
+
+double quantization_noise_rms(double full_scale, int bits) {
+  const double lsb = full_scale / static_cast<double>((1ULL << bits) - 1);
+  return lsb / std::sqrt(12.0);
+}
+
+namespace {
+
+/// ENOB penalty translates to extra Gaussian noise so that the converter's
+/// effective resolution is (bits - penalty).
+double enob_noise_sigma(const converter_config& c) {
+  if (c.enob_penalty <= 0.0) return 0.0;
+  const double ideal = quantization_noise_rms(c.full_scale, c.bits);
+  const double effective_bits = static_cast<double>(c.bits) - c.enob_penalty;
+  // Total noise of an ENOB-limited converter: q_fs / (2^enob * sqrt(12))
+  const double total = c.full_scale /
+                       (std::pow(2.0, effective_bits) * std::sqrt(12.0));
+  const double extra_var = total * total - ideal * ideal;
+  return extra_var > 0.0 ? std::sqrt(extra_var) : 0.0;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- dac
+
+dac::dac(converter_config config, rng noise_stream, energy_ledger* ledger,
+         energy_costs costs)
+    : config_(config),
+      gen_(noise_stream),
+      lsb_(config.full_scale / static_cast<double>((1ULL << config.bits) - 1)),
+      noise_sigma_(enob_noise_sigma(config)),
+      ledger_(ledger),
+      costs_(costs) {}
+
+double dac::convert(double value) {
+  if (ledger_ != nullptr) ledger_->charge("dac", costs_.dac_conversion_j);
+  double out = quantize_to_grid(value, config_.full_scale, config_.bits);
+  if (noise_sigma_ > 0.0) out += gen_.normal(0.0, noise_sigma_);
+  return std::clamp(out, 0.0, config_.full_scale);
+}
+
+std::vector<double> dac::convert(std::span<const double> values) {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (double v : values) out.push_back(convert(v));
+  return out;
+}
+
+// ------------------------------------------------------------------- adc
+
+adc::adc(converter_config config, rng noise_stream, energy_ledger* ledger,
+         energy_costs costs)
+    : config_(config),
+      gen_(noise_stream),
+      lsb_(config.full_scale / static_cast<double>((1ULL << config.bits) - 1)),
+      noise_sigma_(enob_noise_sigma(config)),
+      ledger_(ledger),
+      costs_(costs) {}
+
+double adc::convert(double value) {
+  if (ledger_ != nullptr) ledger_->charge("adc", costs_.adc_conversion_j);
+  double in = value;
+  if (noise_sigma_ > 0.0) in += gen_.normal(0.0, noise_sigma_);
+  return quantize_to_grid(in, config_.full_scale, config_.bits);
+}
+
+std::vector<double> adc::convert(std::span<const double> values) {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (double v : values) out.push_back(convert(v));
+  return out;
+}
+
+}  // namespace onfiber::phot

@@ -1,0 +1,82 @@
+// converter.hpp — DAC and ADC models (the digital/analog boundary).
+//
+// The paper's second §2.2 argument is that on-fiber computing avoids the
+// per-hop DAC/ADC conversions conventional photonic accelerators pay.
+// These models make that cost explicit: every conversion is quantized,
+// clipped, jittered and charged to the energy ledger.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "photonics/energy.hpp"
+#include "photonics/rng.hpp"
+
+namespace onfiber::phot {
+
+struct converter_config {
+  int bits = 8;              ///< nominal resolution
+  double full_scale = 1.0;   ///< input/output range is [0, full_scale]
+  double enob_penalty = 0.5; ///< effective-bits loss from jitter/nonlinearity
+};
+
+/// Digital-to-analog converter: maps a digital code in [0, full_scale]
+/// onto an analog level with `bits` of quantization. (Codes are carried as
+/// doubles already normalized by the driver.)
+class dac {
+ public:
+  dac(converter_config config, rng noise_stream,
+      energy_ledger* ledger = nullptr, energy_costs costs = {});
+
+  /// Convert one value. Clips to [0, full_scale], quantizes to the grid,
+  /// and adds the ENOB-penalty noise.
+  [[nodiscard]] double convert(double value);
+
+  [[nodiscard]] std::vector<double> convert(std::span<const double> values);
+
+  [[nodiscard]] const converter_config& config() const { return config_; }
+
+  /// Quantization step size.
+  [[nodiscard]] double lsb() const { return lsb_; }
+
+ private:
+  converter_config config_;
+  rng gen_;
+  double lsb_;
+  double noise_sigma_;
+  energy_ledger* ledger_ = nullptr;
+  energy_costs costs_{};
+};
+
+/// Analog-to-digital converter: same model in the opposite direction.
+class adc {
+ public:
+  adc(converter_config config, rng noise_stream,
+      energy_ledger* ledger = nullptr, energy_costs costs = {});
+
+  [[nodiscard]] double convert(double value);
+
+  [[nodiscard]] std::vector<double> convert(std::span<const double> values);
+
+  [[nodiscard]] const converter_config& config() const { return config_; }
+  [[nodiscard]] double lsb() const { return lsb_; }
+
+ private:
+  converter_config config_;
+  rng gen_;
+  double lsb_;
+  double noise_sigma_;
+  energy_ledger* ledger_ = nullptr;
+  energy_costs costs_{};
+};
+
+/// Shared quantizer math: clip to [0, full_scale] and snap to an N-bit grid.
+[[nodiscard]] double quantize_to_grid(double value, double full_scale,
+                                      int bits);
+
+/// RMS quantization noise of an N-bit converter over [0, full_scale]:
+/// lsb / sqrt(12). Used by tests to bound observed error analytically.
+[[nodiscard]] double quantization_noise_rms(double full_scale, int bits);
+
+}  // namespace onfiber::phot

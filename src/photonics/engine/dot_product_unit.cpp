@@ -1,0 +1,176 @@
+#include "photonics/engine/dot_product_unit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace onfiber::phot {
+
+namespace {
+
+/// Split a signed [-1,1] vector into non-negative rails (x+, x-).
+void split_rails(std::span<const double> x, std::vector<double>& pos,
+                 std::vector<double>& neg) {
+  pos.resize(x.size());
+  neg.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    pos[i] = x[i] > 0.0 ? x[i] : 0.0;
+    neg[i] = x[i] < 0.0 ? -x[i] : 0.0;
+  }
+}
+
+}  // namespace
+
+dot_product_unit::dot_product_unit(dot_product_config config,
+                                   std::uint64_t seed, energy_ledger* ledger,
+                                   energy_costs costs)
+    : config_([&] {
+        // The laser's symbol rate must match the compute symbol rate so
+        // RIN is integrated over the right bandwidth.
+        config.laser.symbol_rate_hz = config.symbol_rate_hz;
+        config.detector.noise.bandwidth_hz = config.symbol_rate_hz;
+        return config;
+      }()),
+      laser_(config_.laser, rng{seed}, ledger, costs),
+      mod_a_(config_.modulator, /*bias_rad=*/0.0, rng{seed ^ 0x1111}, ledger,
+             costs),
+      mod_b_(config_.modulator, /*bias_rad=*/0.0, rng{seed ^ 0x2222}, ledger,
+             costs),
+      detector_(config_.detector, rng{seed ^ 0x3333}, ledger, costs),
+      dac_a_(config_.dac, rng{seed ^ 0x4444}, ledger, costs),
+      dac_b_(config_.dac, rng{seed ^ 0x5555}, ledger, costs),
+      adc_out_(config_.adc, rng{seed ^ 0x6666}, ledger, costs),
+      ledger_(ledger),
+      costs_(costs) {}
+
+double dot_product_unit::full_scale_power_mw() const {
+  // Both modulators at unit transmission leave only their insertion loss.
+  return config_.laser.power_mw *
+         db_to_ratio(-2.0 * config_.modulator.insertion_loss_db);
+}
+
+dot_result dot_product_unit::read_out(const waveform& products,
+                                      double full_scale_mw,
+                                      std::size_t length) {
+  const double current_a = detector_.integrate(products);
+  const double full_scale_a = detector_.expected_current_a(full_scale_mw);
+
+  // ADC sees the photocurrent normalized to the calibrated full scale.
+  const double normalized =
+      full_scale_a > 0.0 ? current_a / full_scale_a : 0.0;
+  const double digitized = adc_out_.convert(normalized);
+
+  // Undo calibration: digitized * i_fs ~= R * mean(P) + dark, so the mean
+  // product is recoverable, and the dot product is mean * n. A dead
+  // carrier (zero full-scale power) carries no information: read zero
+  // rather than dividing by it.
+  const double responsivity_term =
+      detector_.config().responsivity_a_w * full_scale_mw * 1e-3;
+  const double recovered_mean =
+      responsivity_term > 0.0
+          ? (digitized * full_scale_a - detector_.config().dark_current_a) /
+                responsivity_term
+          : 0.0;
+  const double n = static_cast<double>(length);
+
+  dot_result r;
+  r.value = recovered_mean * n;
+  r.symbols = length;
+  r.latency_s = n / config_.symbol_rate_hz + config_.fixed_latency_s;
+  if (ledger_ != nullptr) {
+    // Optical energy of the analog MACs themselves (paper §2.2 number).
+    ledger_->charge("photonic_mac", costs_.photonic_mac_j * n,
+                    static_cast<std::uint64_t>(length));
+  }
+  return r;
+}
+
+dot_result dot_product_unit::dot_unit_range(std::span<const double> a,
+                                            std::span<const double> b) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument(
+        "dot_product_unit: vectors must be non-empty and equal length");
+  }
+  waveform products;
+  products.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double xa = dac_a_.convert(a[i]);
+    const double xb = dac_b_.convert(b[i]);
+    field e = laser_.emit_one();
+    e = mod_a_.encode_unit(e, xa);
+    e = mod_b_.encode_unit(e, xb);
+    products.push_back(e);
+  }
+  return read_out(products, full_scale_power_mw(), a.size());
+}
+
+dot_result dot_product_unit::dot_signed(std::span<const double> a,
+                                        std::span<const double> b) {
+  std::vector<double> ap, an, bp, bn;
+  split_rails(a, ap, an);
+  split_rails(b, bp, bn);
+
+  const dot_result pp = dot_unit_range(ap, bp);
+  const dot_result nn = dot_unit_range(an, bn);
+  const dot_result pn = dot_unit_range(ap, bn);
+  const dot_result np = dot_unit_range(an, bp);
+
+  dot_result r;
+  r.value = pp.value + nn.value - pn.value - np.value;
+  r.symbols = pp.symbols + nn.symbols + pn.symbols + np.symbols;
+  r.latency_s = pp.latency_s + nn.latency_s + pn.latency_s + np.latency_s;
+  return r;
+}
+
+dot_result dot_product_unit::dot_unit_range_averaged(
+    std::span<const double> a, std::span<const double> b, int repeats) {
+  if (repeats < 1) {
+    throw std::invalid_argument(
+        "dot_product_unit: repeats must be positive");
+  }
+  dot_result acc;
+  for (int k = 0; k < repeats; ++k) {
+    const dot_result r = dot_unit_range(a, b);
+    acc.value += r.value;
+    acc.latency_s += r.latency_s;
+    acc.symbols += r.symbols;
+  }
+  acc.value /= static_cast<double>(repeats);
+  return acc;
+}
+
+waveform dot_product_unit::encode_to_optical(std::span<const double> a) {
+  waveform out;
+  out.reserve(a.size());
+  for (double v : a) {
+    const double x = dac_a_.convert(v);
+    out.push_back(mod_a_.encode_unit(laser_.emit_one(), x));
+  }
+  return out;
+}
+
+dot_result dot_product_unit::dot_with_optical_input(
+    std::span<const field> optical_a, std::span<const double> b,
+    double reference_power_mw) {
+  if (optical_a.size() != b.size() || optical_a.empty()) {
+    throw std::invalid_argument(
+        "dot_product_unit: waveform/vector must be non-empty, equal length");
+  }
+  if (reference_power_mw <= 0.0) {
+    throw std::invalid_argument(
+        "dot_product_unit: reference power must be positive");
+  }
+  waveform products;
+  products.reserve(optical_a.size());
+  for (std::size_t i = 0; i < optical_a.size(); ++i) {
+    const double xb = dac_b_.convert(b[i]);
+    products.push_back(mod_b_.encode_unit(optical_a[i], xb));
+  }
+  // Full scale: the incoming reference power through the b modulator.
+  const double full_scale_mw =
+      reference_power_mw * db_to_ratio(-config_.modulator.insertion_loss_db);
+  return read_out(products, full_scale_mw, optical_a.size());
+}
+
+}  // namespace onfiber::phot

@@ -1,0 +1,117 @@
+// dot_product_unit.hpp — P1: photonic vector dot product (paper Fig. 2a).
+//
+// Physics of the primitive (following Feldmann et al. [19] and Sludds et
+// al. [50] as cited by the paper):
+//   1. a DAC converts each element a_i to a drive voltage,
+//   2. an MZM encodes a_i as the intensity transmission of the carrier,
+//   3. a second, back-to-back MZM multiplies by b_i (element-wise product
+//      in the analog intensity domain),
+//   4. a photodetector integrates the symbol train — analog accumulation —
+//      yielding a photocurrent proportional to sum_i a_i * b_i,
+//   5. an ADC digitizes the result.
+//
+// Signed values use the standard differential (positive/negative rail)
+// decomposition: x = x+ - x-, so a·b expands into four non-negative
+// passes. `dot_signed` hides this; `dot_unit_range` is the raw primitive.
+//
+// On-fiber mode: when the data is *already optical* (arriving from the
+// fiber, per the paper's receive-path design in Fig. 4) the a-side DAC and
+// modulator are skipped — `dot_with_optical_input` starts from a waveform
+// whose per-symbol power encodes a_i. This is the paper's key saving and
+// is what bench E17 ablates.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "photonics/converter.hpp"
+#include "photonics/energy.hpp"
+#include "photonics/laser.hpp"
+#include "photonics/modulator.hpp"
+#include "photonics/photodetector.hpp"
+#include "photonics/rng.hpp"
+
+namespace onfiber::phot {
+
+struct dot_product_config {
+  laser_config laser{};
+  modulator_config modulator{};
+  photodetector_config detector{};
+  converter_config dac{};
+  converter_config adc{};
+  double symbol_rate_hz = 10e9;   ///< analog compute rate
+  double fixed_latency_s = 5e-9;  ///< optical path + driver latency
+};
+
+/// Result of one analog dot-product evaluation.
+struct dot_result {
+  double value = 0.0;        ///< estimated dot product (caller's scale)
+  double latency_s = 0.0;    ///< analog evaluation time
+  std::uint64_t symbols = 0; ///< optical symbols consumed
+};
+
+/// P1 primitive. One instance owns its devices and noise streams; a single
+/// experiment seed makes every evaluation reproducible.
+class dot_product_unit {
+ public:
+  dot_product_unit(dot_product_config config, std::uint64_t seed,
+                   energy_ledger* ledger = nullptr, energy_costs costs = {});
+
+  /// Dot product of two vectors with elements in [0, 1].
+  /// Requires a.size() == b.size() and both non-empty.
+  [[nodiscard]] dot_result dot_unit_range(std::span<const double> a,
+                                          std::span<const double> b);
+
+  /// Dot product of two vectors with elements in [-1, 1], via the
+  /// differential four-pass decomposition.
+  [[nodiscard]] dot_result dot_signed(std::span<const double> a,
+                                      std::span<const double> b);
+
+  /// §4 noise mitigation ("new algorithms to mitigate photonic noise
+  /// during computation"): repeat the analog evaluation `repeats` times
+  /// and average. Analog noise shrinks ~1/sqrt(repeats); the readout
+  /// quantization floor is also averaged down because laser RIN dithers
+  /// the ADC input across repetitions. Latency scales with repeats.
+  [[nodiscard]] dot_result dot_unit_range_averaged(std::span<const double> a,
+                                                   std::span<const double> b,
+                                                   int repeats);
+
+  /// On-fiber variant: `optical_a` is the incoming waveform whose sample
+  /// powers encode a_i in [0,1] relative to `reference_power_mw` (the
+  /// calibrated full-scale receive power). Only the b-side modulator and
+  /// the shared detector/ADC run; no a-side DAC conversion is charged.
+  [[nodiscard]] dot_result dot_with_optical_input(
+      std::span<const field> optical_a, std::span<const double> b,
+      double reference_power_mw);
+
+  /// Encode a [0,1] vector onto the carrier as an optical waveform — the
+  /// transmit half of the on-fiber story (used by transponders to launch
+  /// compute data).
+  [[nodiscard]] waveform encode_to_optical(std::span<const double> a);
+
+  /// Calibrated full-scale receive power of this unit's own encode path
+  /// [mW]: power seen when encoding 1.0 through both modulators at b=1.
+  [[nodiscard]] double full_scale_power_mw() const;
+
+  [[nodiscard]] const dot_product_config& config() const { return config_; }
+
+ private:
+  /// Shared analog core: waveform of per-symbol products -> scalar.
+  [[nodiscard]] dot_result read_out(const waveform& products,
+                                    double full_scale_mw,
+                                    std::size_t length);
+
+  dot_product_config config_;
+  laser laser_;
+  mzm_modulator mod_a_;
+  mzm_modulator mod_b_;
+  photodetector detector_;
+  dac dac_a_;
+  dac dac_b_;
+  adc adc_out_;
+  energy_ledger* ledger_ = nullptr;
+  energy_costs costs_{};
+};
+
+}  // namespace onfiber::phot

@@ -1,0 +1,60 @@
+#include "photonics/engine/vector_matrix_engine.hpp"
+
+#include <stdexcept>
+
+namespace onfiber::phot {
+
+vector_matrix_engine::vector_matrix_engine(dot_product_config config,
+                                           std::uint64_t seed,
+                                           energy_ledger* ledger,
+                                           energy_costs costs)
+    : unit_(config, seed, ledger, costs) {}
+
+gemv_result vector_matrix_engine::gemv_signed(const matrix& w,
+                                              std::span<const double> x) {
+  if (w.cols != x.size() || w.rows == 0) {
+    throw std::invalid_argument("vector_matrix_engine: shape mismatch");
+  }
+  gemv_result out;
+  out.values.reserve(w.rows);
+  for (std::size_t r = 0; r < w.rows; ++r) {
+    const dot_result d = unit_.dot_signed(w.row(r), x);
+    out.values.push_back(d.value);
+    out.latency_s += d.latency_s;
+    out.symbols += d.symbols;
+  }
+  return out;
+}
+
+gemv_result vector_matrix_engine::gemv_unit_range(const matrix& w,
+                                                  std::span<const double> x) {
+  if (w.cols != x.size() || w.rows == 0) {
+    throw std::invalid_argument("vector_matrix_engine: shape mismatch");
+  }
+  gemv_result out;
+  out.values.reserve(w.rows);
+  for (std::size_t r = 0; r < w.rows; ++r) {
+    const dot_result d = unit_.dot_unit_range(w.row(r), x);
+    out.values.push_back(d.value);
+    out.latency_s += d.latency_s;
+    out.symbols += d.symbols;
+  }
+  return out;
+}
+
+std::vector<double> gemv_reference(const matrix& w,
+                                   std::span<const double> x) {
+  if (w.cols != x.size()) {
+    throw std::invalid_argument("gemv_reference: shape mismatch");
+  }
+  std::vector<double> y(w.rows, 0.0);
+  for (std::size_t r = 0; r < w.rows; ++r) {
+    double acc = 0.0;
+    const auto row = w.row(r);
+    for (std::size_t c = 0; c < w.cols; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+}  // namespace onfiber::phot

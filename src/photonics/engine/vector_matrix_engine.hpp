@@ -1,0 +1,72 @@
+// vector_matrix_engine.hpp — time-multiplexed matrix-vector products on P1.
+//
+// A single dot-product unit evaluates one row at a time (the
+// time-multiplexed architecture of Lightning [71] and [50]); this engine
+// schedules a full GEMV over it and aggregates latency/energy. Combined
+// with a P3 nonlinear unit it executes whole DNN layers, which is how the
+// paper's C1 "machine learning inference" use case runs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "photonics/engine/dot_product_unit.hpp"
+#include "photonics/engine/nonlinear_unit.hpp"
+
+namespace onfiber::phot {
+
+/// Dense row-major matrix of doubles. Minimal on purpose — this is a
+/// simulation payload type, not a linear algebra library.
+struct matrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<double> data;  ///< rows * cols, row-major
+
+  matrix() = default;
+  matrix(std::size_t r, std::size_t c) : rows(r), cols(c), data(r * c, 0.0) {}
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) {
+    return data[r * cols + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return data[r * cols + c];
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    return std::span<const double>(data).subspan(r * cols, cols);
+  }
+};
+
+/// Aggregated result of a GEMV / layer evaluation.
+struct gemv_result {
+  std::vector<double> values;
+  double latency_s = 0.0;
+  std::uint64_t symbols = 0;
+};
+
+class vector_matrix_engine {
+ public:
+  vector_matrix_engine(dot_product_config config, std::uint64_t seed,
+                       energy_ledger* ledger = nullptr,
+                       energy_costs costs = {});
+
+  /// y = W x for signed W, x in [-1, 1]. Rows evaluated sequentially on
+  /// the single analog unit, so latency adds up.
+  [[nodiscard]] gemv_result gemv_signed(const matrix& w,
+                                        std::span<const double> x);
+
+  /// y = W x for non-negative W, x in [0, 1] (single-pass per row).
+  [[nodiscard]] gemv_result gemv_unit_range(const matrix& w,
+                                            std::span<const double> x);
+
+  [[nodiscard]] dot_product_unit& unit() { return unit_; }
+
+ private:
+  dot_product_unit unit_;
+};
+
+/// Reference (infinite-precision) GEMV for accuracy comparisons.
+[[nodiscard]] std::vector<double> gemv_reference(const matrix& w,
+                                                 std::span<const double> x);
+
+}  // namespace onfiber::phot

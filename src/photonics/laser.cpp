@@ -1,0 +1,51 @@
+#include "photonics/laser.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace onfiber::phot {
+
+laser::laser(laser_config config, rng noise_stream, energy_ledger* ledger,
+             energy_costs costs)
+    : config_(config),
+      gen_(noise_stream),
+      ledger_(ledger),
+      costs_(costs) {
+  if (config_.enable_phase_noise && config_.symbol_rate_hz > 0.0) {
+    phase_step_sigma_ = std::sqrt(2.0 * std::numbers::pi *
+                                  config_.linewidth_hz /
+                                  config_.symbol_rate_hz);
+  }
+}
+
+field laser::emit_one() {
+  double power = config_.power_mw;
+  if (config_.enable_rin) {
+    // RIN integrated over the symbol bandwidth, as a multiplicative
+    // Gaussian power fluctuation.
+    const double sigma =
+        rin_sigma_mw(power, config_.rin_db_hz, config_.symbol_rate_hz);
+    power += gen_.normal(0.0, sigma);
+    if (power < 0.0) power = 0.0;
+  }
+  if (phase_step_sigma_ > 0.0) {
+    phase_ += gen_.normal(0.0, phase_step_sigma_);
+    // Keep the accumulated phase bounded for numerical hygiene.
+    if (phase_ > 1e6 || phase_ < -1e6) {
+      phase_ = std::remainder(phase_, 2.0 * std::numbers::pi);
+    }
+  }
+  if (ledger_ != nullptr) {
+    ledger_->charge("laser", costs_.laser_j_per_symbol);
+  }
+  return make_field(power, phase_);
+}
+
+waveform laser::emit(std::size_t symbols) {
+  waveform out;
+  out.reserve(symbols);
+  for (std::size_t i = 0; i < symbols; ++i) out.push_back(emit_one());
+  return out;
+}
+
+}  // namespace onfiber::phot

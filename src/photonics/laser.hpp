@@ -1,0 +1,50 @@
+// laser.hpp — continuous-wave laser source model.
+#pragma once
+
+#include <cstdint>
+
+#include "photonics/energy.hpp"
+#include "photonics/noise.hpp"
+#include "photonics/optical.hpp"
+#include "photonics/rng.hpp"
+
+namespace onfiber::phot {
+
+/// Configuration of a CW laser used as the carrier source of a transponder
+/// transmit path or a photonic engine.
+struct laser_config {
+  double power_mw = 10.0;            ///< emitted CW power
+  double wavelength_m = c_band_wavelength;
+  double rin_db_hz = -155.0;         ///< relative intensity noise
+  double linewidth_hz = 100e3;       ///< Lorentzian linewidth (phase noise)
+  double symbol_rate_hz = 10e9;      ///< symbol slot rate of downstream path
+  bool enable_rin = true;
+  bool enable_phase_noise = true;
+};
+
+/// CW laser emitting one field sample per symbol slot. Each sample carries
+/// RIN power fluctuation and a phase random walk with variance
+/// 2*pi*linewidth/symbol_rate per step (standard Wiener phase-noise model).
+class laser {
+ public:
+  laser(laser_config config, rng noise_stream,
+        energy_ledger* ledger = nullptr, energy_costs costs = {});
+
+  /// Emit `symbols` consecutive carrier samples.
+  [[nodiscard]] waveform emit(std::size_t symbols);
+
+  /// Emit a single carrier sample (advances the phase walk).
+  [[nodiscard]] field emit_one();
+
+  [[nodiscard]] const laser_config& config() const { return config_; }
+
+ private:
+  laser_config config_;
+  rng gen_;
+  double phase_ = 0.0;
+  double phase_step_sigma_ = 0.0;
+  energy_ledger* ledger_ = nullptr;
+  energy_costs costs_{};
+};
+
+}  // namespace onfiber::phot

@@ -1,0 +1,91 @@
+#include "photonics/modulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace onfiber::phot {
+
+namespace {
+constexpr double pi = std::numbers::pi;
+}
+
+// ----------------------------------------------------------- mzm_modulator
+
+mzm_modulator::mzm_modulator(modulator_config config, double bias_rad,
+                             rng bias_noise, energy_ledger* ledger,
+                             energy_costs costs)
+    : config_(config),
+      bias_rad_(bias_rad),
+      ledger_(ledger),
+      costs_(costs) {
+  if (config_.bias_error_sigma_rad > 0.0) {
+    bias_error_rad_ = bias_noise.normal(0.0, config_.bias_error_sigma_rad);
+  }
+  // Finite extinction ratio: transmission never falls below this floor.
+  floor_transmission_ = db_to_ratio(-config_.extinction_ratio_db);
+}
+
+field mzm_modulator::apply_phase_arg(field in, double total_phase_rad) const {
+  // Field transfer of a balanced MZM: cos(theta), where theta is half the
+  // differential arm phase. Intensity transfer = cos^2(theta).
+  double t_field = std::cos(total_phase_rad);
+  double t_intensity = t_field * t_field;
+  t_intensity = std::max(t_intensity, floor_transmission_);
+  const double scale =
+      std::sqrt(t_intensity) * field_loss_scale(config_.insertion_loss_db);
+  // The sign of the field transfer matters for coherent cascades.
+  return in * (t_field < 0.0 ? -scale : scale);
+}
+
+field mzm_modulator::modulate(field in, double drive_v) {
+  const double v =
+      std::clamp(drive_v, -config_.max_drive_v, config_.max_drive_v);
+  if (ledger_ != nullptr) ledger_->charge("modulator", costs_.modulator_drive_j);
+  const double theta =
+      0.5 * (bias_rad_ + bias_error_rad_) + 0.5 * pi * v / config_.v_pi;
+  return apply_phase_arg(in, theta);
+}
+
+double mzm_modulator::intensity_transfer(double drive_v) const {
+  const double v =
+      std::clamp(drive_v, -config_.max_drive_v, config_.max_drive_v);
+  const double theta = 0.5 * bias_rad_ + 0.5 * pi * v / config_.v_pi;
+  const double t = std::cos(theta);
+  return std::max(t * t, floor_transmission_) *
+         db_to_ratio(-config_.insertion_loss_db);
+}
+
+field mzm_modulator::encode_unit(field in, double x) {
+  // Invert intensity transfer cos^2(theta) = x  =>  theta = acos(sqrt(x)).
+  // The driver solves for the voltage; bias error still perturbs theta,
+  // so calibration is imperfect exactly the way real hardware is.
+  const double clamped = std::clamp(x, 0.0, 1.0);
+  const double theta = std::acos(std::sqrt(clamped));
+  if (ledger_ != nullptr) ledger_->charge("modulator", costs_.modulator_drive_j);
+  return apply_phase_arg(in, theta + 0.5 * bias_error_rad_);
+}
+
+// --------------------------------------------------------- phase_modulator
+
+phase_modulator::phase_modulator(modulator_config config, rng bias_noise,
+                                 energy_ledger* ledger, energy_costs costs)
+    : config_(config), ledger_(ledger), costs_(costs) {
+  if (config_.bias_error_sigma_rad > 0.0) {
+    phase_error_rad_ = bias_noise.normal(0.0, config_.bias_error_sigma_rad);
+  }
+}
+
+field phase_modulator::modulate(field in, double drive_v) {
+  const double v =
+      std::clamp(drive_v, -config_.max_drive_v, config_.max_drive_v);
+  return encode_phase(in, pi * v / config_.v_pi);
+}
+
+field phase_modulator::encode_phase(field in, double phase_rad) {
+  if (ledger_ != nullptr) ledger_->charge("modulator", costs_.modulator_drive_j);
+  const double scale = field_loss_scale(config_.insertion_loss_db);
+  return in * std::polar(scale, phase_rad + phase_error_rad_);
+}
+
+}  // namespace onfiber::phot

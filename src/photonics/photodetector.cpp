@@ -1,0 +1,53 @@
+#include "photonics/photodetector.hpp"
+
+#include <algorithm>
+
+namespace onfiber::phot {
+
+photodetector::photodetector(photodetector_config config, rng noise_stream,
+                             energy_ledger* ledger, energy_costs costs)
+    : config_(config), gen_(noise_stream), ledger_(ledger), costs_(costs) {}
+
+double photodetector::clip(double current_a) const {
+  return std::clamp(current_a, -config_.saturation_current_a,
+                    config_.saturation_current_a);
+}
+
+double photodetector::detect(field in) {
+  const double signal_a = expected_current_a(power_mw(in));
+  const double noise_a = config_.noise.sample_current_noise_a(signal_a, gen_);
+  if (ledger_ != nullptr) {
+    ledger_->charge("photodetector", costs_.photodetector_readout_j);
+  }
+  return clip(signal_a + noise_a);
+}
+
+std::vector<double> photodetector::detect(std::span<const field> in) {
+  std::vector<double> out;
+  out.reserve(in.size());
+  for (const field& e : in) out.push_back(detect(e));
+  return out;
+}
+
+double photodetector::integrate(std::span<const field> in) {
+  if (in.empty()) return 0.0;
+  double mean_power_mw = 0.0;
+  for (const field& e : in) mean_power_mw += power_mw(e);
+  mean_power_mw /= static_cast<double>(in.size());
+
+  const double signal_a = expected_current_a(mean_power_mw);
+
+  // Integrating N symbols narrows the effective noise bandwidth by N:
+  // sample the noise with B' = B / N by scaling the variance, which for
+  // Gaussian noise equals scaling sigma by 1/sqrt(N).
+  receiver_noise_config narrowed = config_.noise;
+  narrowed.bandwidth_hz /= static_cast<double>(in.size());
+  const double noise_a = narrowed.sample_current_noise_a(signal_a, gen_);
+
+  if (ledger_ != nullptr) {
+    ledger_->charge("photodetector", costs_.photodetector_readout_j);
+  }
+  return clip(signal_a + noise_a);
+}
+
+}  // namespace onfiber::phot

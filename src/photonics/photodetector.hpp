@@ -1,0 +1,62 @@
+// photodetector.hpp — photodiode + transimpedance receiver model.
+//
+// The photodetector is the analog summation element of P1 (its finite
+// bandwidth integrates consecutive symbol powers into one photocurrent)
+// and the readout element of P2/P3. The model converts optical power to
+// photocurrent via responsivity, adds shot + thermal noise, and applies
+// saturation.
+#pragma once
+
+#include <span>
+
+#include "photonics/energy.hpp"
+#include "photonics/noise.hpp"
+#include "photonics/optical.hpp"
+#include "photonics/rng.hpp"
+
+namespace onfiber::phot {
+
+struct photodetector_config {
+  double responsivity_a_w = 1.0;     ///< A/W (InGaAs @ 1550 nm ~ 0.9-1.1)
+  double dark_current_a = 5e-9;      ///< dark current
+  double saturation_current_a = 10e-3;  ///< clipping level
+  receiver_noise_config noise{};     ///< shot/thermal configuration
+};
+
+/// Square-law detector: photocurrent i = R * P + dark + noise.
+class photodetector {
+ public:
+  photodetector(photodetector_config config, rng noise_stream,
+                energy_ledger* ledger = nullptr, energy_costs costs = {});
+
+  /// Detect a single field sample -> photocurrent [A].
+  [[nodiscard]] double detect(field in);
+
+  /// Detect a whole waveform sample-by-sample -> currents [A].
+  [[nodiscard]] std::vector<double> detect(std::span<const field> in);
+
+  /// Integrate-and-dump over a waveform: the averaged photocurrent of all
+  /// samples, i.e. the analog accumulation used by P1. Noise is applied to
+  /// the integrated value with the noise bandwidth reduced by the symbol
+  /// count (coherent integration gain).
+  [[nodiscard]] double integrate(std::span<const field> in);
+
+  [[nodiscard]] const photodetector_config& config() const { return config_; }
+
+  /// Noiseless expected current for a given optical power [mW] — the
+  /// calibration reference used by converters and tests.
+  [[nodiscard]] double expected_current_a(double power_mw) const {
+    return config_.responsivity_a_w * power_mw * 1e-3 +
+           config_.dark_current_a;
+  }
+
+ private:
+  [[nodiscard]] double clip(double current_a) const;
+
+  photodetector_config config_;
+  rng gen_;
+  energy_ledger* ledger_ = nullptr;
+  energy_costs costs_{};
+};
+
+}  // namespace onfiber::phot

@@ -1,0 +1,91 @@
+// codec.hpp — fixed-point vector codecs for compute payloads.
+//
+// Compute inputs and results travel inside packets as bytes; the analog
+// engine works on values in [0,1] (intensity) or [-1,1] (signed,
+// differential rails). These codecs define the mapping. 8-bit elements
+// match the converter resolution assumed throughout (§2.2 compares 8-bit
+// MACs).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace onfiber::proto {
+
+/// Encode x in [0,1] as one byte (round-to-nearest).
+[[nodiscard]] inline std::uint8_t encode_unit_u8(double x) {
+  const double c = std::clamp(x, 0.0, 1.0);
+  return static_cast<std::uint8_t>(std::lround(c * 255.0));
+}
+
+/// Decode one byte to [0,1].
+[[nodiscard]] inline double decode_unit_u8(std::uint8_t b) {
+  return static_cast<double>(b) / 255.0;
+}
+
+/// Encode x in [-1,1] as one byte (offset binary: 0 -> -1, 255 -> +1).
+[[nodiscard]] inline std::uint8_t encode_signed_u8(double x) {
+  const double c = std::clamp(x, -1.0, 1.0);
+  return static_cast<std::uint8_t>(std::lround((c + 1.0) * 127.5));
+}
+
+/// Decode offset-binary byte to [-1,1].
+[[nodiscard]] inline double decode_signed_u8(std::uint8_t b) {
+  return static_cast<double>(b) / 127.5 - 1.0;
+}
+
+[[nodiscard]] inline std::vector<std::uint8_t> encode_unit_vector(
+    std::span<const double> xs) {
+  std::vector<std::uint8_t> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back(encode_unit_u8(x));
+  return out;
+}
+
+[[nodiscard]] inline std::vector<double> decode_unit_vector(
+    std::span<const std::uint8_t> bytes) {
+  std::vector<double> out;
+  out.reserve(bytes.size());
+  for (std::uint8_t b : bytes) out.push_back(decode_unit_u8(b));
+  return out;
+}
+
+[[nodiscard]] inline std::vector<std::uint8_t> encode_signed_vector(
+    std::span<const double> xs) {
+  std::vector<std::uint8_t> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back(encode_signed_u8(x));
+  return out;
+}
+
+[[nodiscard]] inline std::vector<double> decode_signed_vector(
+    std::span<const std::uint8_t> bytes) {
+  std::vector<double> out;
+  out.reserve(bytes.size());
+  for (std::uint8_t b : bytes) out.push_back(decode_signed_u8(b));
+  return out;
+}
+
+/// Encode a scalar result with a caller-chosen scale into 2 bytes
+/// (big-endian fixed point, value/scale in [-1, 1]).
+[[nodiscard]] inline std::array<std::uint8_t, 2> encode_scalar_i16(
+    double value, double scale) {
+  const double norm = scale != 0.0 ? std::clamp(value / scale, -1.0, 1.0) : 0.0;
+  const auto q = static_cast<std::int16_t>(std::lround(norm * 32767.0));
+  const auto u = static_cast<std::uint16_t>(q);
+  return {static_cast<std::uint8_t>(u >> 8),
+          static_cast<std::uint8_t>(u & 0xff)};
+}
+
+[[nodiscard]] inline double decode_scalar_i16(std::uint8_t hi, std::uint8_t lo,
+                                              double scale) {
+  const auto u = static_cast<std::uint16_t>((std::uint16_t{hi} << 8) | lo);
+  const auto q = static_cast<std::int16_t>(u);
+  return static_cast<double>(q) / 32767.0 * scale;
+}
+
+}  // namespace onfiber::proto

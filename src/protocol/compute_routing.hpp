@@ -1,0 +1,70 @@
+// compute_routing.hpp — two-field next-hop lookup (§3).
+//
+// "routers perform next-hop lookup based on two fields: the destination
+//  IP address in the IP header and the photonic computing primitive ID
+//  specified in the photonic computing header."
+//
+// Implemented as one LPM table per primitive id, falling back to the
+// plain (primitive = none) table when no compute-specific route exists.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "network/routing.hpp"
+#include "protocol/compute_header.hpp"
+
+namespace onfiber::proto {
+
+template <typename Value>
+class compute_routing_table {
+ public:
+  /// Route for plain (non-compute) traffic.
+  void insert_plain(net::prefix p, Value v) {
+    table_for(primitive_id::none).insert(p, std::move(v));
+  }
+
+  /// Route for compute traffic needing `prim` toward `p`.
+  void insert_compute(net::prefix p, primitive_id prim, Value v) {
+    table_for(prim).insert(p, std::move(v));
+  }
+
+  /// Two-field lookup: compute-specific route first, else plain route.
+  [[nodiscard]] std::optional<Value> lookup(net::ipv4 dst,
+                                            primitive_id prim) const {
+    if (prim != primitive_id::none) {
+      if (auto hit = table_for(prim).lookup(dst)) return hit;
+    }
+    return table_for(primitive_id::none).lookup(dst);
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& t : tables_) total += t.size();
+    return total;
+  }
+
+ private:
+  [[nodiscard]] net::routing_table<Value>& table_for(primitive_id p) {
+    return tables_[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] const net::routing_table<Value>& table_for(
+      primitive_id p) const {
+    return tables_[static_cast<std::size_t>(p)];
+  }
+
+  std::array<net::routing_table<Value>,
+             static_cast<std::size_t>(primitive_id::p1_p3_dnn) + 1>
+      tables_;
+};
+
+// ------------------------------------------------------- optical preamble
+
+/// The optical preamble announcing a compute packet to a photonic engine
+/// (§3: "an optical preamble detection module to identify the arrival of
+/// a new packet"). A 16-bit Barker-like pattern with good autocorrelation,
+/// detected in the optical domain by the P2 matcher.
+inline constexpr std::array<std::uint8_t, 16> optical_preamble_bits = {
+    1, 1, 1, 1, 1, 0, 0, 1, 1, 0, 1, 0, 1, 1, 1, 0};
+
+}  // namespace onfiber::proto

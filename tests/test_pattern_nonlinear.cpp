@@ -1,0 +1,258 @@
+// Tests for P2 (pattern matching) and P3 (nonlinear function).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "photonics/engine/nonlinear_unit.hpp"
+#include "photonics/engine/pattern_matcher.hpp"
+#include "photonics/rng.hpp"
+
+namespace onfiber::phot {
+namespace {
+
+std::vector<std::uint8_t> random_bits(std::size_t n, rng& g) {
+  std::vector<std::uint8_t> bits(n);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(g.below(2));
+  return bits;
+}
+
+// ------------------------------------------------------------ P2 matching
+
+TEST(PatternMatch, ExactMatchHasNearZeroMismatch) {
+  pattern_matcher m({}, 1);
+  rng g(10);
+  const auto bits = random_bits(32, g);
+  const match_result r = m.match_bits(bits, bits);
+  EXPECT_TRUE(r.matched);
+  EXPECT_LT(r.mismatch_fraction, 0.02);
+}
+
+TEST(PatternMatch, MismatchFractionTracksHammingDistance) {
+  pattern_matcher m({}, 2);
+  rng g(11);
+  const auto bits = random_bits(64, g);
+  for (const std::size_t flips : {1u, 4u, 16u, 32u}) {
+    auto other = bits;
+    for (std::size_t i = 0; i < flips; ++i) other[i] ^= 1;
+    const match_result r = m.match_bits(bits, other);
+    const double expected = static_cast<double>(flips) / 64.0;
+    EXPECT_NEAR(r.mismatch_fraction, expected, 0.03)
+        << "flips=" << flips;
+    EXPECT_FALSE(r.matched) << "flips=" << flips;
+  }
+}
+
+TEST(PatternMatch, AllFlippedIsFullMismatch) {
+  pattern_matcher m({}, 3);
+  std::vector<std::uint8_t> zeros(16, 0), ones(16, 1);
+  const match_result r = m.match_bits(zeros, ones);
+  EXPECT_GT(r.mismatch_fraction, 0.9);
+}
+
+TEST(PatternMatch, WildcardsNeverMismatch) {
+  pattern_matcher m({}, 4);
+  rng g(12);
+  const auto bits = random_bits(32, g);
+  std::vector<tbit> pattern = to_ternary(bits);
+  // Corrupt bits 3..10 but mark them wildcard.
+  auto corrupted = bits;
+  for (std::size_t i = 3; i <= 10; ++i) {
+    corrupted[i] ^= 1;
+    pattern[i] = tbit::wildcard;
+  }
+  const match_result r = m.match_ternary(corrupted, pattern);
+  EXPECT_TRUE(r.matched);
+}
+
+TEST(PatternMatch, AllWildcardThrows) {
+  pattern_matcher m({}, 5);
+  std::vector<std::uint8_t> bits(8, 0);
+  std::vector<tbit> pattern(8, tbit::wildcard);
+  EXPECT_THROW((void)m.match_ternary(bits, pattern), std::invalid_argument);
+}
+
+TEST(PatternMatch, SizeMismatchThrows) {
+  pattern_matcher m({}, 6);
+  std::vector<std::uint8_t> bits(8, 0);
+  std::vector<std::uint8_t> pattern(9, 0);
+  EXPECT_THROW((void)m.match_bits(bits, pattern), std::invalid_argument);
+}
+
+TEST(PatternMatch, ByteInterface) {
+  pattern_matcher m({}, 7);
+  const std::vector<std::uint8_t> data{0xde, 0xad, 0xbe, 0xef};
+  EXPECT_TRUE(m.match_bytes(data, data).matched);
+  const std::vector<std::uint8_t> other{0xde, 0xad, 0xbe, 0xee};
+  EXPECT_FALSE(m.match_bytes(data, other).matched);
+}
+
+TEST(PatternMatch, BytesToBitsMsbFirst) {
+  const std::vector<std::uint8_t> bytes{0x80, 0x01};
+  const auto bits = bytes_to_bits(bytes);
+  ASSERT_EQ(bits.size(), 16u);
+  EXPECT_EQ(bits[0], 1);
+  EXPECT_EQ(bits[7], 0);
+  EXPECT_EQ(bits[15], 1);
+}
+
+TEST(PatternMatch, OpticalPilotRoundTrip) {
+  pattern_matcher m({}, 8);
+  rng g(13);
+  const auto bits = random_bits(48, g);
+  const waveform wave = m.encode_bits_to_optical(bits);
+  ASSERT_EQ(wave.size(), 49u);  // pilot + data
+  EXPECT_TRUE(m.match_optical(wave, to_ternary(bits)).matched);
+  auto flipped = bits;
+  flipped[20] ^= 1;
+  EXPECT_FALSE(m.match_optical(wave, to_ternary(flipped)).matched);
+}
+
+TEST(PatternMatch, OpticalSurvivesCarrierPhaseOffset) {
+  // Rotate the whole waveform (unknown carrier phase after transit); the
+  // pilot-aided recovery must still match.
+  pattern_matcher m({}, 9);
+  rng g(14);
+  const auto bits = random_bits(32, g);
+  waveform wave = m.encode_bits_to_optical(bits);
+  const field rot = std::polar(1.0, 1.2345);
+  for (field& e : wave) e *= rot;
+  EXPECT_TRUE(m.match_optical(wave, to_ternary(bits)).matched);
+}
+
+TEST(PatternMatch, OpticalSurvivesAttenuation) {
+  pattern_matcher m({}, 10);
+  rng g(15);
+  const auto bits = random_bits(32, g);
+  waveform wave = m.encode_bits_to_optical(bits);
+  for (field& e : wave) e *= field_loss_scale(6.0);  // -6 dB
+  EXPECT_TRUE(m.match_optical(wave, to_ternary(bits)).matched);
+}
+
+TEST(PatternMatch, OpticalLengthValidation) {
+  pattern_matcher m({}, 11);
+  const waveform wave(8, make_field(1.0));
+  const std::vector<tbit> pattern(8, tbit::zero);  // needs 9 samples
+  EXPECT_THROW((void)m.match_optical(wave, pattern), std::invalid_argument);
+}
+
+TEST(PatternMatch, OpticalDeadPilotThrows) {
+  pattern_matcher m({}, 12);
+  waveform wave(9, make_field(1.0));
+  wave[0] = field{0.0, 0.0};
+  const std::vector<tbit> pattern(8, tbit::zero);
+  EXPECT_THROW((void)m.match_optical(wave, pattern), std::invalid_argument);
+}
+
+TEST(PatternMatch, ScanFindsAllOffsets) {
+  pattern_matcher m({}, 13);
+  // Stream 0^8 1 0 1 0^8: pattern "101" occurs at offset 8.
+  std::vector<std::uint8_t> stream(19, 0);
+  stream[8] = 1;
+  stream[10] = 1;
+  const std::vector<tbit> pattern{tbit::one, tbit::zero, tbit::one};
+  const auto hits = m.scan(stream, pattern);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 8u);
+}
+
+TEST(PatternMatch, ScanEmptyCases) {
+  pattern_matcher m({}, 14);
+  const std::vector<std::uint8_t> stream(4, 0);
+  const std::vector<tbit> long_pattern(8, tbit::zero);
+  EXPECT_TRUE(m.scan(stream, long_pattern).empty());
+  EXPECT_TRUE(m.scan(stream, {}).empty());
+}
+
+TEST(PatternMatch, LatencyScalesWithLength) {
+  pattern_match_config cfg;
+  cfg.symbol_rate_hz = 10e9;
+  pattern_matcher m(cfg, 15);
+  rng g(16);
+  const auto short_bits = random_bits(16, g);
+  const auto long_bits = random_bits(160, g);
+  const double t_short = m.match_bits(short_bits, short_bits).latency_s;
+  const double t_long = m.match_bits(long_bits, long_bits).latency_s;
+  EXPECT_GT(t_long, t_short);
+  EXPECT_NEAR(t_long - t_short, 144.0 / 10e9, 1e-12);
+}
+
+// --------------------------------------------------------- P3 nonlinearity
+
+TEST(Nonlinear, ZeroInZeroOut) {
+  nonlinear_unit nl({}, 1);
+  EXPECT_NEAR(nl.transfer_mw(0.0), 0.0, 1e-9);
+}
+
+TEST(Nonlinear, MonotoneIncreasingTransfer) {
+  nonlinear_unit nl({}, 2);
+  double prev = -1.0;
+  for (double p = 0.0; p <= 10.0; p += 0.25) {
+    const double y = nl.transfer_mw(p);
+    EXPECT_GE(y, prev - 1e-12) << "at p=" << p;
+    prev = y;
+  }
+}
+
+TEST(Nonlinear, ReluLikeShape) {
+  // Convex at the bottom (suppresses small inputs more than
+  // proportionally), significant transmission at the top.
+  nonlinear_unit nl({}, 3);
+  const double y_low = nl.transfer_mw(1.0);
+  const double y_high = nl.transfer_mw(10.0);
+  EXPECT_LT(y_low / 1.0, 0.1 * (y_high / 10.0) * 10.0);  // strong suppression
+  EXPECT_GT(y_high / 10.0, 0.3);  // passes a good fraction at full scale
+}
+
+TEST(Nonlinear, FullScaleReachesFullTransmission) {
+  // Defaults calibrated: 10 mW drives the modulator to V_pi.
+  nonlinear_config cfg;
+  cfg.modulator.insertion_loss_db = 0.0;
+  nonlinear_unit nl(cfg, 4);
+  EXPECT_NEAR(nl.transfer_mw(10.0), 10.0 * (1.0 - cfg.tap_ratio), 0.05);
+}
+
+TEST(Nonlinear, ActivateBounds) {
+  nonlinear_unit nl({}, 5);
+  for (const double x : {-0.5, 0.0, 0.3, 0.7, 1.0, 1.5}) {
+    const double y = nl.activate(x, 10.0);
+    EXPECT_GE(y, 0.0);
+    EXPECT_LE(y, 1.0);
+  }
+}
+
+TEST(Nonlinear, ActivateMatchesNormalizedTransfer) {
+  // Noiseless config: activate(x) ~ x * sin^2(pi/2 x) with the default
+  // calibration (output power = input power x transmission).
+  nonlinear_config cfg;
+  cfg.detector.noise.enable_shot = false;
+  cfg.detector.noise.enable_thermal = false;
+  cfg.detector.dark_current_a = 0.0;
+  nonlinear_unit nl(cfg, 6);
+  for (const double x : {0.1, 0.3, 0.5, 0.8, 1.0}) {
+    const double expected = x * std::pow(std::sin(0.5 * M_PI * x), 2.0);
+    EXPECT_NEAR(nl.activate(x, 10.0), expected, 0.02) << "x=" << x;
+  }
+}
+
+TEST(Nonlinear, ApplyWaveform) {
+  nonlinear_unit nl({}, 7);
+  const waveform in(16, make_field(5.0));
+  const waveform out = nl.apply(in);
+  ASSERT_EQ(out.size(), 16u);
+  for (const field& e : out) {
+    EXPECT_LT(power_mw(e), 5.0);  // tap + nonlinearity always lose power
+  }
+}
+
+TEST(Nonlinear, OffsetShiftsKnee) {
+  nonlinear_config base;
+  nonlinear_config shifted = base;
+  shifted.drive_offset_v = 1.0;  // pre-biased toward transmission
+  nonlinear_unit nl0(base, 8);
+  nonlinear_unit nl1(shifted, 8);
+  EXPECT_GT(nl1.transfer_mw(2.0), nl0.transfer_mw(2.0));
+}
+
+}  // namespace
+}  // namespace onfiber::phot
