@@ -11,6 +11,8 @@
 
 #include "bench_util.hpp"
 #include "photonics/engine/dot_product_unit.hpp"
+#include "photonics/engine/vector_matrix_engine.hpp"
+#include "photonics/kernels.hpp"
 #include "photonics/rng.hpp"
 
 using namespace onfiber;
@@ -35,7 +37,7 @@ double rms_error(phot::dot_product_unit& unit, std::size_t dim, int trials,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   banner("E1 / Fig. 2a", "P1 photonic vector dot product characterization");
 
   // ---- accuracy vs dimension (8-bit converters, defaults) --------------
@@ -98,6 +100,82 @@ int main() {
     const double macs_per_s = static_cast<double>(dim) / r.latency_s;
     std::printf("  symbol rate %.0f GBd -> %.2f GMAC/s per unit (dim %zu)\n",
                 cfg.symbol_rate_hz / 1e9, macs_per_s / 1e9, dim);
+  }
+
+  // ---- simulator kernel performance --------------------------------------
+  // Wall-clock cost of simulating one MAC: the element-wise field-domain
+  // reference vs the fused intensity-domain kernel, plus the parallel
+  // signed GEMV throughput. These feed BENCH_kernels.json via --json.
+  note("");
+  note("simulator kernel performance (wall clock, this machine)");
+  {
+    const std::size_t dim = 256;
+    phot::rng gen(9000);
+    std::vector<double> a(dim), b(dim);
+    for (double& x : a) x = gen.uniform();
+    for (double& x : b) x = gen.uniform();
+
+    phot::dot_product_unit scalar_unit({}, 600);
+    phot::dot_product_unit fused_unit({}, 600);
+    // Warm up both (first call sizes the scratch arena).
+    volatile double sink = 0.0;
+    sink = sink + scalar_unit.dot_unit_range_scalar(a, b).value;
+    sink = sink + fused_unit.dot_unit_range(a, b).value;
+
+    const int reps = 800;
+    stopwatch sw_scalar;
+    for (int t = 0; t < reps; ++t) {
+      sink = sink + scalar_unit.dot_unit_range_scalar(a, b).value;
+    }
+    const double scalar_ns =
+        sw_scalar.elapsed_s() * 1e9 / (static_cast<double>(reps) * dim);
+
+    stopwatch sw_fused;
+    for (int t = 0; t < reps; ++t) {
+      sink = sink + fused_unit.dot_unit_range(a, b).value;
+    }
+    const double fused_ns =
+        sw_fused.elapsed_s() * 1e9 / (static_cast<double>(reps) * dim);
+
+    // Parallel signed GEMV throughput (ONFIBER_THREADS-sized pool).
+    const std::size_t rows = 16;
+    phot::matrix w(rows, dim);
+    for (double& v : w.data) v = 2.0 * gen.uniform() - 1.0;
+    std::vector<double> x(dim);
+    for (double& v : x) v = 2.0 * gen.uniform() - 1.0;
+    phot::vector_matrix_engine engine({}, 700);
+    sink = sink + engine.gemv_signed(w, x).values[0];  // warm-up
+    const int gemv_reps = 12;
+    stopwatch sw_gemv;
+    for (int t = 0; t < gemv_reps; ++t) {
+      sink = sink + engine.gemv_signed(w, x).values[0];
+    }
+    const double rows_per_s = static_cast<double>(gemv_reps) * rows /
+                              sw_gemv.elapsed_s();
+
+    std::printf("  scalar reference  %10.2f ns/MAC (dim %zu)\n", scalar_ns,
+                dim);
+    std::printf("  fused kernel      %10.2f ns/MAC  (%.2fx speedup)\n",
+                fused_ns, scalar_ns / fused_ns);
+    std::printf("  parallel GEMV     %10.0f rows/s (%zux%zu signed, %zu "
+                "threads)\n",
+                rows_per_s, rows, dim, phot::kernel_thread_count());
+
+    const std::string json_path = json_path_from_args(argc, argv);
+    if (!json_path.empty()) {
+      json_report report(json_path);
+      report.set("fig2a.dim", static_cast<double>(dim));
+      report.set("fig2a.scalar_ns_per_mac", scalar_ns);
+      report.set("fig2a.fused_ns_per_mac", fused_ns);
+      report.set("fig2a.speedup_x", scalar_ns / fused_ns);
+      report.set("fig2a.gemv_rows_per_s", rows_per_s);
+      report.set("fig2a.threads",
+                 static_cast<double>(phot::kernel_thread_count()));
+      if (!report.write()) {
+        std::fprintf(stderr, "fig2a: cannot write %s\n", json_path.c_str());
+        return 1;
+      }
+    }
   }
 
   std::printf("\n");

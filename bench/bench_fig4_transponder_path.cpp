@@ -20,7 +20,7 @@
 using namespace onfiber;
 using namespace onfiber::bench;
 
-int main() {
+int main(int argc, char** argv) {
   banner("E4 / Fig. 3 vs Fig. 4",
          "commodity vs photonic-compute transponder receive path");
 
@@ -90,6 +90,43 @@ int main() {
       std::printf("      %-16s %12s  (%llu ops)\n", name.c_str(),
                   fmt_energy(e.joules).c_str(),
                   static_cast<unsigned long long>(e.ops));
+    }
+  }
+
+  // ---- simulator packet throughput ---------------------------------------
+  // Wall-clock rate at which the simulator pushes compute packets through
+  // the on-fiber engine path; recorded in BENCH_kernels.json via --json.
+  {
+    core::photonic_engine engine({}, 5);
+    engine.configure_gemv(task);
+    const auto make_pkt = [&] {
+      return core::make_gemv_request(net::ipv4(10, 0, 0, 2),
+                                     net::ipv4(10, 3, 0, 2), x, out_dim);
+    };
+    {
+      net::packet warm = make_pkt();
+      (void)engine.process(warm);
+    }
+    const int packets = 40;
+    stopwatch sw;
+    for (int p = 0; p < packets; ++p) {
+      net::packet pkt = make_pkt();
+      (void)engine.process(pkt);
+    }
+    const double per_s = static_cast<double>(packets) / sw.elapsed_s();
+    note("");
+    std::printf("    simulator rate: %.0f compute packets/s (on-fiber GEMV "
+                "%zux%zu)\n",
+                per_s, out_dim, dim);
+
+    const std::string json_path = json_path_from_args(argc, argv);
+    if (!json_path.empty()) {
+      json_report report(json_path);
+      report.set("fig4.packets_per_s", per_s);
+      if (!report.write()) {
+        std::fprintf(stderr, "fig4: cannot write %s\n", json_path.c_str());
+        return 1;
+      }
     }
   }
 

@@ -15,7 +15,7 @@
 using namespace onfiber;
 using namespace onfiber::bench;
 
-int main() {
+int main(int argc, char** argv) {
   banner("E7 / Table 1 C1", "machine learning inference on fiber");
 
   const auto data = digital::make_synthetic_dataset(16, 4, 50, 0.08, 7);
@@ -92,6 +92,38 @@ int main() {
                 fmt_time(rep.compute_latency_s).c_str(),
                 fmt_energy(ledger.total_joules()).c_str(),
                 fmt_energy(ledger.joules("photonic_mac")).c_str());
+  }
+
+  // ---- simulator throughput ------------------------------------------------
+  // Wall-clock DNN inference rate of the simulator itself (parallel GEMV
+  // layers); recorded in BENCH_kernels.json via --json.
+  note("");
+  {
+    core::photonic_engine engine({}, 99);
+    engine.configure_dnn(apps::to_photonic_task(aware));
+    const auto warm = apps::evaluate_photonic(engine, aware, data);  // warm-up
+    stopwatch sw;
+    const int passes = 3;
+    for (int p = 0; p < passes; ++p) {
+      (void)apps::evaluate_photonic(engine, aware, data);
+    }
+    const double inferences =
+        static_cast<double>(passes) * static_cast<double>(data.samples.size());
+    const double per_s = inferences / sw.elapsed_s();
+    std::printf("  simulator rate: %.0f inferences/s (wall clock, accuracy "
+                "%.1f%%)\n",
+                per_s, 100.0 * warm.accuracy);
+
+    const std::string json_path = json_path_from_args(argc, argv);
+    if (!json_path.empty()) {
+      json_report report(json_path);
+      report.set("table1.inferences_per_s", per_s);
+      report.set("table1.model_macs", static_cast<double>(macs));
+      if (!report.write()) {
+        std::fprintf(stderr, "table1: cannot write %s\n", json_path.c_str());
+        return 1;
+      }
+    }
   }
 
   std::printf("\n");

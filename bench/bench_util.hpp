@@ -7,7 +7,12 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
+#include <string_view>
 
 namespace onfiber::bench {
 
@@ -57,6 +62,73 @@ inline std::string fmt_energy(double joules) {
   }
   return buf;
 }
+
+/// `--json <path>` from a bench binary's argv; empty if absent. All bench
+/// mains accept this flag so the driver script can collect machine-readable
+/// numbers next to the human-readable tables.
+inline std::string json_path_from_args(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") return argv[i + 1];
+  }
+  return {};
+}
+
+/// Flat key -> number JSON report, e.g. BENCH_kernels.json. Several bench
+/// binaries append to the same file: construction reads any existing
+/// report (its own flat format only), set() upserts keys, write() rewrites
+/// the whole file sorted (std::map) so reruns are deterministic.
+class json_report {
+ public:
+  explicit json_report(std::string path) : path_(std::move(path)) {
+    std::ifstream in(path_);
+    if (!in) return;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    // Parse the flat format this class itself writes: "key": number pairs.
+    std::size_t pos = 0;
+    while ((pos = text.find('"', pos)) != std::string::npos) {
+      const std::size_t end = text.find('"', pos + 1);
+      if (end == std::string::npos) break;
+      const std::string key = text.substr(pos + 1, end - pos - 1);
+      std::size_t cursor = end + 1;
+      while (cursor < text.size() &&
+             (text[cursor] == ':' || text[cursor] == ' ')) {
+        ++cursor;
+      }
+      char* parsed_end = nullptr;
+      const double value = std::strtod(text.c_str() + cursor, &parsed_end);
+      if (parsed_end != text.c_str() + cursor) values_[key] = value;
+      pos = end + 1;
+    }
+  }
+
+  void set(const std::string& key, double value) { values_[key] = value; }
+
+  /// Rewrite the report file. Returns false if the file cannot be opened.
+  bool write() const {
+    std::ofstream out(path_);
+    if (!out) return false;
+    out << "{\n";
+    const char* sep = "";
+    for (const auto& [key, value] : values_) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.9g", value);
+      out << sep << "  \"" << key << "\": " << buf;
+      sep = ",\n";
+    }
+    out << "\n}\n";
+    return static_cast<bool>(out);
+  }
+
+  [[nodiscard]] const std::map<std::string, double>& values() const {
+    return values_;
+  }
+
+ private:
+  std::string path_;
+  std::map<std::string, double> values_;
+};
 
 /// Wall-clock stopwatch for solver timing.
 class stopwatch {

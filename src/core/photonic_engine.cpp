@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "photonics/kernels.hpp"
 #include "protocol/codec.hpp"
 
 namespace onfiber::core {
@@ -37,11 +38,11 @@ photonic_engine::photonic_engine(engine_config config, std::uint64_t seed,
                                  phot::energy_ledger* ledger,
                                  phot::energy_costs costs)
     : config_(config),
-      dot_unit_(config.dot, seed, ledger, costs),
       upstream_encoder_(config.dot, seed ^ 0xf00d, nullptr, costs),
       matcher_(config.match, seed ^ 0xbeef, ledger, costs),
       upstream_phase_encoder_(config.match, seed ^ 0xcafe, nullptr, costs),
       nonlinear_(config.nonlinear, seed ^ 0xd00d, ledger, costs),
+      row_seed_stream_(seed ^ 0x726f7773ULL /* "rows" */),
       ledger_(ledger),
       costs_(costs) {}
 
@@ -117,8 +118,16 @@ phot::gemv_result photonic_engine::analog_gemv(const phot::matrix& w,
                                                std::span<const double> x,
                                                bool input_is_optical,
                                                engine_report& report) {
-  phot::gemv_result out;
-  out.values.reserve(w.rows);
+  const std::size_t rows = w.rows;
+
+  // Determinism contract (photonics/kernels.hpp): every row's noise
+  // stream is forked here, in row order, before any worker starts.
+  std::vector<std::uint64_t> seeds(rows);
+  for (std::uint64_t& s : seeds) s = row_seed_stream_();
+
+  std::vector<phot::dot_result> row_results(rows);
+  std::vector<phot::energy_ledger> row_ledgers(ledger_ != nullptr ? rows : 0);
+  const std::size_t threads = phot::kernel_thread_count(threads_override_);
 
   if (input_is_optical) {
     // On-fiber path: the input rails exist as optical waveforms (encoded
@@ -133,18 +142,23 @@ phot::gemv_result photonic_engine::analog_gemv(const phot::matrix& w,
         config_.dot.laser.power_mw *
         phot::db_to_ratio(-config_.dot.modulator.insertion_loss_db);
 
-    std::vector<double> wp, wn;
-    for (std::size_t r = 0; r < w.rows; ++r) {
+    phot::parallel_rows(rows, threads, [&](std::size_t r) {
+      phot::dot_product_unit unit(
+          config_.dot, seeds[r],
+          ledger_ != nullptr ? &row_ledgers[r] : nullptr, costs_);
+      std::vector<double> wp, wn;
       split_rails(w.row(r), wp, wn);
-      const auto pp = dot_unit_.dot_with_optical_input(wave_p, wp, ref_mw);
-      const auto nn = dot_unit_.dot_with_optical_input(wave_n, wn, ref_mw);
-      const auto pn = dot_unit_.dot_with_optical_input(wave_p, wn, ref_mw);
-      const auto np = dot_unit_.dot_with_optical_input(wave_n, wp, ref_mw);
-      out.values.push_back(pp.value + nn.value - pn.value - np.value);
-      out.latency_s += pp.latency_s + nn.latency_s + pn.latency_s +
-                       np.latency_s;
-      out.symbols += pp.symbols + nn.symbols + pn.symbols + np.symbols;
-    }
+      const auto pp = unit.dot_with_optical_input(wave_p, wp, ref_mw);
+      const auto nn = unit.dot_with_optical_input(wave_n, wn, ref_mw);
+      const auto pn = unit.dot_with_optical_input(wave_p, wn, ref_mw);
+      const auto np = unit.dot_with_optical_input(wave_n, wp, ref_mw);
+      phot::dot_result d;
+      d.value = pp.value + nn.value - pn.value - np.value;
+      d.latency_s =
+          pp.latency_s + nn.latency_s + pn.latency_s + np.latency_s;
+      d.symbols = pp.symbols + nn.symbols + pn.symbols + np.symbols;
+      row_results[r] = d;
+    });
   } else {
     // OEO path: the input was digitized by the receive ADC (n conversions)
     // and is re-encoded through the a-side DAC inside every pass.
@@ -154,13 +168,26 @@ phot::gemv_result photonic_engine::analog_gemv(const phot::matrix& w,
                                  static_cast<double>(x.size()),
                       x.size());
     }
-    for (std::size_t r = 0; r < w.rows; ++r) {
-      const auto d = dot_unit_.dot_signed(w.row(r), x);
-      out.values.push_back(d.value);
-      out.latency_s += d.latency_s;
-      out.symbols += d.symbols;
-      report.input_conversions += 4 * x.size();  // DACs inside dot_signed
-    }
+    phot::parallel_rows(rows, threads, [&](std::size_t r) {
+      phot::dot_product_unit unit(
+          config_.dot, seeds[r],
+          ledger_ != nullptr ? &row_ledgers[r] : nullptr, costs_);
+      row_results[r] = unit.dot_signed(w.row(r), x);
+    });
+    // DACs inside dot_signed: four rail passes per row.
+    report.input_conversions += 4 * x.size() * rows;
+  }
+
+  phot::gemv_result out;
+  out.values.reserve(rows);
+  for (const phot::dot_result& d : row_results) {
+    out.values.push_back(d.value);
+    out.latency_s += d.latency_s;
+    out.symbols += d.symbols;
+  }
+  if (ledger_ != nullptr) {
+    // Merge in row order so energy totals are thread-invariant.
+    for (const phot::energy_ledger& l : row_ledgers) ledger_->merge(l);
   }
   report.optical_symbols += out.symbols;
   report.compute_latency_s += out.latency_s;

@@ -27,6 +27,7 @@
 #include "photonics/engine/nonlinear_unit.hpp"
 #include "photonics/engine/pattern_matcher.hpp"
 #include "photonics/engine/vector_matrix_engine.hpp"
+#include "photonics/rng.hpp"
 #include "protocol/compute_header.hpp"
 #include "protocol/compute_routing.hpp"
 
@@ -101,6 +102,11 @@ class photonic_engine {
   void set_mode(compute_mode mode) { config_.mode = mode; }
   [[nodiscard]] compute_mode mode() const { return config_.mode; }
 
+  /// Override the GEMV worker count (0 = auto: ONFIBER_THREADS env var,
+  /// else hardware concurrency). Results are bit-identical at any value —
+  /// per-row noise streams are forked in row order before dispatch.
+  void set_threads(std::size_t threads) { threads_override_ = threads; }
+
   /// Can this engine serve packets asking for `p`?
   [[nodiscard]] bool supports(proto::primitive_id p) const;
 
@@ -132,15 +138,16 @@ class photonic_engine {
                               net::packet& pkt);
   engine_report run_dnn(const proto::compute_header& h, net::packet& pkt);
 
-  /// One signed GEMV on the analog unit; shared by P1 and DNN layers.
-  /// `first_layer_optical` selects the on-fiber input path.
+  /// One signed GEMV over the analog units; shared by P1 and DNN layers.
+  /// `input_is_optical` selects the on-fiber input path. Rows run on the
+  /// deterministic worker pool (see photonics/kernels.hpp): one forked
+  /// noise stream and one private ledger per row, merged in row order.
   [[nodiscard]] phot::gemv_result analog_gemv(const phot::matrix& w,
                                               std::span<const double> x,
                                               bool input_is_optical,
                                               engine_report& report);
 
   engine_config config_;
-  phot::dot_product_unit dot_unit_;
   /// Ledger-free twin used to reconstruct the optical form of incoming
   /// data: the source transponder already paid those conversions, so the
   /// reconstruction must not charge this node.
@@ -148,6 +155,8 @@ class photonic_engine {
   phot::pattern_matcher matcher_;
   phot::pattern_matcher upstream_phase_encoder_;  // ledger-free, see above
   phot::nonlinear_unit nonlinear_;
+  phot::rng row_seed_stream_;  ///< forked per GEMV row, in row order
+  std::size_t threads_override_ = 0;
   phot::energy_ledger* ledger_ = nullptr;
   phot::energy_costs costs_{};
 

@@ -44,17 +44,29 @@ dac::dac(converter_config config, rng noise_stream, energy_ledger* ledger,
       ledger_(ledger),
       costs_(costs) {}
 
-double dac::convert(double value) {
-  if (ledger_ != nullptr) ledger_->charge("dac", costs_.dac_conversion_j);
+double dac::convert_core(double value) {
   double out = quantize_to_grid(value, config_.full_scale, config_.bits);
   if (noise_sigma_ > 0.0) out += gen_.normal(0.0, noise_sigma_);
   return std::clamp(out, 0.0, config_.full_scale);
 }
 
+double dac::convert(double value) {
+  if (ledger_ != nullptr) ledger_->charge("dac", costs_.dac_conversion_j);
+  return convert_core(value);
+}
+
+void dac::convert(std::span<const double> in, std::span<double> out) {
+  const std::size_t n = std::min(in.size(), out.size());
+  for (std::size_t i = 0; i < n; ++i) out[i] = convert_core(in[i]);
+  if (ledger_ != nullptr && n > 0) {
+    ledger_->charge("dac", costs_.dac_conversion_j * static_cast<double>(n),
+                    n);
+  }
+}
+
 std::vector<double> dac::convert(std::span<const double> values) {
-  std::vector<double> out;
-  out.reserve(values.size());
-  for (double v : values) out.push_back(convert(v));
+  std::vector<double> out(values.size());
+  convert(values, out);
   return out;
 }
 
@@ -69,17 +81,29 @@ adc::adc(converter_config config, rng noise_stream, energy_ledger* ledger,
       ledger_(ledger),
       costs_(costs) {}
 
-double adc::convert(double value) {
-  if (ledger_ != nullptr) ledger_->charge("adc", costs_.adc_conversion_j);
+double adc::convert_core(double value) {
   double in = value;
   if (noise_sigma_ > 0.0) in += gen_.normal(0.0, noise_sigma_);
   return quantize_to_grid(in, config_.full_scale, config_.bits);
 }
 
+double adc::convert(double value) {
+  if (ledger_ != nullptr) ledger_->charge("adc", costs_.adc_conversion_j);
+  return convert_core(value);
+}
+
+void adc::convert(std::span<const double> in, std::span<double> out) {
+  const std::size_t n = std::min(in.size(), out.size());
+  for (std::size_t i = 0; i < n; ++i) out[i] = convert_core(in[i]);
+  if (ledger_ != nullptr && n > 0) {
+    ledger_->charge("adc", costs_.adc_conversion_j * static_cast<double>(n),
+                    n);
+  }
+}
+
 std::vector<double> adc::convert(std::span<const double> values) {
-  std::vector<double> out;
-  out.reserve(values.size());
-  for (double v : values) out.push_back(convert(v));
+  std::vector<double> out(values.size());
+  convert(values, out);
   return out;
 }
 

@@ -33,6 +33,10 @@ class dac {
   /// and adds the ENOB-penalty noise.
   [[nodiscard]] double convert(double value);
 
+  /// Batch convert into preallocated storage (`in.size()` values written
+  /// to `out`). Bit-identical to the scalar loop; one bulk ledger charge.
+  void convert(std::span<const double> in, std::span<double> out);
+
   [[nodiscard]] std::vector<double> convert(std::span<const double> values);
 
   [[nodiscard]] const converter_config& config() const { return config_; }
@@ -41,6 +45,8 @@ class dac {
   [[nodiscard]] double lsb() const { return lsb_; }
 
  private:
+  [[nodiscard]] double convert_core(double value);
+
   converter_config config_;
   rng gen_;
   double lsb_;
@@ -57,12 +63,17 @@ class adc {
 
   [[nodiscard]] double convert(double value);
 
+  /// Batch convert into preallocated storage; see dac::convert.
+  void convert(std::span<const double> in, std::span<double> out);
+
   [[nodiscard]] std::vector<double> convert(std::span<const double> values);
 
   [[nodiscard]] const converter_config& config() const { return config_; }
   [[nodiscard]] double lsb() const { return lsb_; }
 
  private:
+  [[nodiscard]] double convert_core(double value);
+
   converter_config config_;
   rng gen_;
   double lsb_;

@@ -84,6 +84,17 @@ class energy_ledger {
     return entries_;
   }
 
+  /// Fold another ledger's entries into this one. Used by the parallel
+  /// GEMV path: each row charges a private ledger, and rows are merged in
+  /// row order at the barrier so totals are independent of thread count.
+  void merge(const energy_ledger& other) {
+    for (const auto& [name, e] : other.entries_) {
+      auto& mine = entries_[name];
+      mine.joules += e.joules;
+      mine.ops += e.ops;
+    }
+  }
+
   void reset() { entries_.clear(); }
 
  private:

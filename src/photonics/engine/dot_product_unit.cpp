@@ -20,6 +20,13 @@ void split_rails(std::span<const double> x, std::vector<double>& pos,
   }
 }
 
+void require_pair(std::size_t a, std::size_t b) {
+  if (a != b || a == 0) {
+    throw std::invalid_argument(
+        "dot_product_unit: vectors must be non-empty and equal length");
+  }
+}
+
 }  // namespace
 
 dot_product_unit::dot_product_unit(dot_product_config config,
@@ -53,7 +60,20 @@ double dot_product_unit::full_scale_power_mw() const {
 dot_result dot_product_unit::read_out(const waveform& products,
                                       double full_scale_mw,
                                       std::size_t length) {
-  const double current_a = detector_.integrate(products);
+  return read_out_current(detector_.integrate(products), full_scale_mw,
+                          length);
+}
+
+dot_result dot_product_unit::read_out_power(std::span<const double> product_mw,
+                                            double full_scale_mw,
+                                            std::size_t length) {
+  return read_out_current(detector_.integrate_power(product_mw),
+                          full_scale_mw, length);
+}
+
+dot_result dot_product_unit::read_out_current(double current_a,
+                                              double full_scale_mw,
+                                              std::size_t length) {
   const double full_scale_a = detector_.expected_current_a(full_scale_mw);
 
   // ADC sees the photocurrent normalized to the calibrated full scale.
@@ -88,10 +108,38 @@ dot_result dot_product_unit::read_out(const waveform& products,
 
 dot_result dot_product_unit::dot_unit_range(std::span<const double> a,
                                             std::span<const double> b) {
-  if (a.size() != b.size() || a.empty()) {
-    throw std::invalid_argument(
-        "dot_product_unit: vectors must be non-empty and equal length");
+  require_pair(a.size(), b.size());
+  const std::size_t n = a.size();
+
+  // Batched device passes. Each device owns an independent noise stream,
+  // so running devices batch-by-batch (instead of symbol-by-symbol) leaves
+  // every stream's draw order unchanged.
+  scratch_.dac_a.resize(n);
+  scratch_.dac_b.resize(n);
+  scratch_.trans_a.resize(n);
+  scratch_.trans_b.resize(n);
+  scratch_.power.resize(n);
+  scratch_.product.resize(n);
+
+  dac_a_.convert(a, scratch_.dac_a);
+  dac_b_.convert(b, scratch_.dac_b);
+  laser_.emit_powers(scratch_.power);
+  mod_a_.encode_intensity(scratch_.dac_a, scratch_.trans_a);
+  mod_b_.encode_intensity(scratch_.dac_b, scratch_.trans_b);
+
+  // Interleaved product pass: P_i = P_laser,i * T_a,i * T_b,i. This is the
+  // cascaded-MZM intensity product the field pipeline computes, minus the
+  // phasor bookkeeping a square-law detector cannot see.
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch_.product[i] =
+        scratch_.power[i] * scratch_.trans_a[i] * scratch_.trans_b[i];
   }
+  return read_out_power(scratch_.product, full_scale_power_mw(), n);
+}
+
+dot_result dot_product_unit::dot_unit_range_scalar(std::span<const double> a,
+                                                   std::span<const double> b) {
+  require_pair(a.size(), b.size());
   waveform products;
   products.reserve(a.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
@@ -107,14 +155,17 @@ dot_result dot_product_unit::dot_unit_range(std::span<const double> a,
 
 dot_result dot_product_unit::dot_signed(std::span<const double> a,
                                         std::span<const double> b) {
-  std::vector<double> ap, an, bp, bn;
-  split_rails(a, ap, an);
-  split_rails(b, bp, bn);
+  split_rails(a, scratch_.rail_a_pos, scratch_.rail_a_neg);
+  split_rails(b, scratch_.rail_b_pos, scratch_.rail_b_neg);
 
-  const dot_result pp = dot_unit_range(ap, bp);
-  const dot_result nn = dot_unit_range(an, bn);
-  const dot_result pn = dot_unit_range(ap, bn);
-  const dot_result np = dot_unit_range(an, bp);
+  const dot_result pp =
+      dot_unit_range(scratch_.rail_a_pos, scratch_.rail_b_pos);
+  const dot_result nn =
+      dot_unit_range(scratch_.rail_a_neg, scratch_.rail_b_neg);
+  const dot_result pn =
+      dot_unit_range(scratch_.rail_a_pos, scratch_.rail_b_neg);
+  const dot_result np =
+      dot_unit_range(scratch_.rail_a_neg, scratch_.rail_b_pos);
 
   dot_result r;
   r.value = pp.value + nn.value - pn.value - np.value;
@@ -142,12 +193,19 @@ dot_result dot_product_unit::dot_unit_range_averaged(
 
 waveform dot_product_unit::encode_to_optical(std::span<const double> a) {
   waveform out;
-  out.reserve(a.size());
-  for (double v : a) {
-    const double x = dac_a_.convert(v);
-    out.push_back(mod_a_.encode_unit(laser_.emit_one(), x));
-  }
+  encode_to_optical(a, out);
   return out;
+}
+
+void dot_product_unit::encode_to_optical(std::span<const double> a,
+                                         waveform& out) {
+  // Launch path keeps the full field representation (the waveform really
+  // travels down a fiber), but runs each device as one batch. Per-device
+  // streams make this bit-identical to the symbol-by-symbol loop.
+  scratch_.dac_a.resize(a.size());
+  dac_a_.convert(a, scratch_.dac_a);
+  laser_.emit(a.size(), out);
+  mod_a_.encode(scratch_.dac_a, out);
 }
 
 dot_result dot_product_unit::dot_with_optical_input(
@@ -161,16 +219,20 @@ dot_result dot_product_unit::dot_with_optical_input(
     throw std::invalid_argument(
         "dot_product_unit: reference power must be positive");
   }
-  waveform products;
-  products.reserve(optical_a.size());
-  for (std::size_t i = 0; i < optical_a.size(); ++i) {
-    const double xb = dac_b_.convert(b[i]);
-    products.push_back(mod_b_.encode_unit(optical_a[i], xb));
+  const std::size_t n = optical_a.size();
+  scratch_.dac_b.resize(n);
+  scratch_.trans_b.resize(n);
+  scratch_.product.resize(n);
+
+  dac_b_.convert(b, scratch_.dac_b);
+  mod_b_.encode_intensity(scratch_.dac_b, scratch_.trans_b);
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch_.product[i] = power_mw(optical_a[i]) * scratch_.trans_b[i];
   }
   // Full scale: the incoming reference power through the b modulator.
   const double full_scale_mw =
       reference_power_mw * db_to_ratio(-config_.modulator.insertion_loss_db);
-  return read_out(products, full_scale_mw, optical_a.size());
+  return read_out_power(scratch_.product, full_scale_mw, n);
 }
 
 }  // namespace onfiber::phot

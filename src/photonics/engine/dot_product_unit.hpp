@@ -60,8 +60,22 @@ class dot_product_unit {
 
   /// Dot product of two vectors with elements in [0, 1].
   /// Requires a.size() == b.size() and both non-empty.
+  ///
+  /// Hot path: fused intensity-domain kernel. Device noise streams are
+  /// consumed in the same per-device order as the element-wise reference
+  /// path, but the computation stays in the power domain (a square-law
+  /// detector cannot observe phase) and reuses the scratch arena — no
+  /// allocations after warm-up, no per-sample transcendentals when the
+  /// modulator bias is calibrated.
   [[nodiscard]] dot_result dot_unit_range(std::span<const double> a,
                                           std::span<const double> b);
+
+  /// Element-wise reference implementation of `dot_unit_range`: walks the
+  /// full field-domain pipeline one symbol at a time. Numerically agrees
+  /// with the fused kernel to floating-point rounding (tests pin this);
+  /// kept as the correctness oracle and the bench baseline.
+  [[nodiscard]] dot_result dot_unit_range_scalar(std::span<const double> a,
+                                                 std::span<const double> b);
 
   /// Dot product of two vectors with elements in [-1, 1], via the
   /// differential four-pass decomposition.
@@ -90,6 +104,10 @@ class dot_product_unit {
   /// compute data).
   [[nodiscard]] waveform encode_to_optical(std::span<const double> a);
 
+  /// Same, writing into caller-owned storage (resized to a.size()) so
+  /// repeated launches reuse one buffer.
+  void encode_to_optical(std::span<const double> a, waveform& out);
+
   /// Calibrated full-scale receive power of this unit's own encode path
   /// [mW]: power seen when encoding 1.0 through both modulators at b=1.
   [[nodiscard]] double full_scale_power_mw() const;
@@ -97,10 +115,32 @@ class dot_product_unit {
   [[nodiscard]] const dot_product_config& config() const { return config_; }
 
  private:
+  /// Reusable buffers for the fused kernels. Owned by the unit and resized
+  /// monotonically: after the first call at a given length every evaluation
+  /// is allocation-free.
+  struct kernel_scratch {
+    std::vector<double> rail_a_pos, rail_a_neg;  ///< signed-input rails
+    std::vector<double> rail_b_pos, rail_b_neg;
+    std::vector<double> dac_a, dac_b;      ///< post-DAC drive levels
+    std::vector<double> trans_a, trans_b;  ///< MZM intensity transmissions
+    std::vector<double> power;             ///< laser per-symbol powers [mW]
+    std::vector<double> product;           ///< per-symbol product powers [mW]
+  };
+
   /// Shared analog core: waveform of per-symbol products -> scalar.
   [[nodiscard]] dot_result read_out(const waveform& products,
                                     double full_scale_mw,
                                     std::size_t length);
+
+  /// Intensity-domain twin: per-symbol product powers -> scalar.
+  [[nodiscard]] dot_result read_out_power(std::span<const double> product_mw,
+                                          double full_scale_mw,
+                                          std::size_t length);
+
+  /// Common back half: integrated photocurrent -> digitized dot result.
+  [[nodiscard]] dot_result read_out_current(double current_a,
+                                            double full_scale_mw,
+                                            std::size_t length);
 
   dot_product_config config_;
   laser laser_;
@@ -110,6 +150,7 @@ class dot_product_unit {
   dac dac_a_;
   dac dac_b_;
   adc adc_out_;
+  kernel_scratch scratch_;
   energy_ledger* ledger_ = nullptr;
   energy_costs costs_{};
 };

@@ -2,44 +2,69 @@
 
 #include <stdexcept>
 
+#include "photonics/kernels.hpp"
+
 namespace onfiber::phot {
 
 vector_matrix_engine::vector_matrix_engine(dot_product_config config,
                                            std::uint64_t seed,
                                            energy_ledger* ledger,
                                            energy_costs costs)
-    : unit_(config, seed, ledger, costs) {}
+    : config_(config),
+      ledger_(ledger),
+      costs_(costs),
+      unit_(config, seed, ledger, costs),
+      row_seed_stream_(seed ^ 0x726f7773ULL /* "rows" */) {}
 
-gemv_result vector_matrix_engine::gemv_signed(const matrix& w,
-                                              std::span<const double> x) {
+gemv_result vector_matrix_engine::run_gemv(const matrix& w,
+                                           std::span<const double> x,
+                                           bool signed_inputs) {
   if (w.cols != x.size() || w.rows == 0) {
     throw std::invalid_argument("vector_matrix_engine: shape mismatch");
   }
+  const std::size_t rows = w.rows;
+
+  // Fork every row's seed up front, in row order: the only RNG state the
+  // workers touch afterwards is row-private, so scheduling cannot change
+  // any draw.
+  std::vector<std::uint64_t> seeds(rows);
+  for (std::uint64_t& s : seeds) s = row_seed_stream_();
+
+  std::vector<dot_result> row_results(rows);
+  std::vector<energy_ledger> row_ledgers(ledger_ != nullptr ? rows : 0);
+
+  parallel_rows(rows, kernel_thread_count(threads_override_),
+                [&](std::size_t r) {
+                  dot_product_unit unit(
+                      config_, seeds[r],
+                      ledger_ != nullptr ? &row_ledgers[r] : nullptr, costs_);
+                  row_results[r] = signed_inputs
+                                       ? unit.dot_signed(w.row(r), x)
+                                       : unit.dot_unit_range(w.row(r), x);
+                });
+
   gemv_result out;
-  out.values.reserve(w.rows);
-  for (std::size_t r = 0; r < w.rows; ++r) {
-    const dot_result d = unit_.dot_signed(w.row(r), x);
+  out.values.reserve(rows);
+  for (const dot_result& d : row_results) {
     out.values.push_back(d.value);
     out.latency_s += d.latency_s;
     out.symbols += d.symbols;
+  }
+  if (ledger_ != nullptr) {
+    // Merge in row order so the ledger's float sums are thread-invariant.
+    for (const energy_ledger& l : row_ledgers) ledger_->merge(l);
   }
   return out;
 }
 
+gemv_result vector_matrix_engine::gemv_signed(const matrix& w,
+                                              std::span<const double> x) {
+  return run_gemv(w, x, /*signed_inputs=*/true);
+}
+
 gemv_result vector_matrix_engine::gemv_unit_range(const matrix& w,
                                                   std::span<const double> x) {
-  if (w.cols != x.size() || w.rows == 0) {
-    throw std::invalid_argument("vector_matrix_engine: shape mismatch");
-  }
-  gemv_result out;
-  out.values.reserve(w.rows);
-  for (std::size_t r = 0; r < w.rows; ++r) {
-    const dot_result d = unit_.dot_unit_range(w.row(r), x);
-    out.values.push_back(d.value);
-    out.latency_s += d.latency_s;
-    out.symbols += d.symbols;
-  }
-  return out;
+  return run_gemv(w, x, /*signed_inputs=*/false);
 }
 
 std::vector<double> gemv_reference(const matrix& w,

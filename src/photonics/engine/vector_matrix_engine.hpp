@@ -50,8 +50,12 @@ class vector_matrix_engine {
                        energy_ledger* ledger = nullptr,
                        energy_costs costs = {});
 
-  /// y = W x for signed W, x in [-1, 1]. Rows evaluated sequentially on
-  /// the single analog unit, so latency adds up.
+  /// y = W x for signed W, x in [-1, 1]. Rows run on a deterministic
+  /// worker pool: per-row noise streams are forked from the engine's
+  /// row-seed stream in row order before dispatch, so the result (values,
+  /// latency, symbols, energy totals) is bit-identical at any thread
+  /// count. Latency still models the time-multiplexed single analog unit
+  /// and adds up across rows.
   [[nodiscard]] gemv_result gemv_signed(const matrix& w,
                                         std::span<const double> x);
 
@@ -59,10 +63,23 @@ class vector_matrix_engine {
   [[nodiscard]] gemv_result gemv_unit_range(const matrix& w,
                                             std::span<const double> x);
 
+  /// Override the worker count (0 = auto: ONFIBER_THREADS env var, else
+  /// hardware concurrency). Any value yields bit-identical results.
+  void set_threads(std::size_t threads) { threads_override_ = threads; }
+
   [[nodiscard]] dot_product_unit& unit() { return unit_; }
 
  private:
-  dot_product_unit unit_;
+  [[nodiscard]] gemv_result run_gemv(const matrix& w,
+                                     std::span<const double> x,
+                                     bool signed_inputs);
+
+  dot_product_config config_;
+  energy_ledger* ledger_ = nullptr;
+  energy_costs costs_{};
+  dot_product_unit unit_;       ///< direct-access unit (scalar experiments)
+  rng row_seed_stream_;         ///< forked per GEMV row, in row order
+  std::size_t threads_override_ = 0;
 };
 
 /// Reference (infinite-precision) GEMV for accuracy comparisons.

@@ -1,0 +1,33 @@
+// kernels.hpp — deterministic parallel execution for sample-plane kernels.
+//
+// The simulator's determinism contract is seed-based: one experiment seed
+// must produce one bit-exact result. Parallel GEMV keeps that contract by
+// construction — per-row RNG streams are forked from a row-seed stream *in
+// row order before any work starts*, each row runs on its own device set
+// and its own energy ledger, and row results/ledgers are folded back in
+// row order at the barrier. The worker count then only changes wall-clock
+// time, never a single bit of output.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace onfiber::phot {
+
+/// Worker count for parallel kernels. Resolution order:
+///   1. `override_count` if non-zero (e.g. engine::set_threads),
+///   2. the ONFIBER_THREADS environment variable if set and positive,
+///   3. std::thread::hardware_concurrency().
+/// Never returns 0.
+[[nodiscard]] std::size_t kernel_thread_count(std::size_t override_count = 0);
+
+/// Run `fn(row)` for every row in [0, rows) on up to `threads` workers.
+/// Rows are claimed from a shared atomic counter, so scheduling is dynamic
+/// — correctness must not depend on which thread runs which row (see the
+/// determinism contract above). Runs inline when threads <= 1 or rows <= 1.
+/// The first exception thrown by any row is rethrown on the caller after
+/// all workers join.
+void parallel_rows(std::size_t rows, std::size_t threads,
+                   const std::function<void(std::size_t)>& fn);
+
+}  // namespace onfiber::phot

@@ -16,35 +16,84 @@ laser::laser(laser_config config, rng noise_stream, energy_ledger* ledger,
                                   config_.linewidth_hz /
                                   config_.symbol_rate_hz);
   }
-}
-
-field laser::emit_one() {
-  double power = config_.power_mw;
   if (config_.enable_rin) {
     // RIN integrated over the symbol bandwidth, as a multiplicative
-    // Gaussian power fluctuation.
-    const double sigma =
-        rin_sigma_mw(power, config_.rin_db_hz, config_.symbol_rate_hz);
-    power += gen_.normal(0.0, sigma);
+    // Gaussian power fluctuation. The sigma depends only on the configured
+    // carrier power, so it is evaluated once here instead of per symbol.
+    rin_sigma_mw_ =
+        rin_sigma_mw(config_.power_mw, config_.rin_db_hz,
+                     config_.symbol_rate_hz);
+  }
+}
+
+std::size_t laser::draws_per_symbol() const {
+  return (config_.enable_rin ? 1u : 0u) +
+         (phase_step_sigma_ > 0.0 ? 1u : 0u);
+}
+
+double laser::step_power(const double*& draw) {
+  double power = config_.power_mw;
+  if (config_.enable_rin) {
+    power += rin_sigma_mw_ * *draw++;
     if (power < 0.0) power = 0.0;
   }
   if (phase_step_sigma_ > 0.0) {
-    phase_ += gen_.normal(0.0, phase_step_sigma_);
+    phase_ += phase_step_sigma_ * *draw++;
     // Keep the accumulated phase bounded for numerical hygiene.
     if (phase_ > 1e6 || phase_ < -1e6) {
       phase_ = std::remainder(phase_, 2.0 * std::numbers::pi);
     }
   }
+  return power;
+}
+
+field laser::emit_one() {
+  double draws[2];
+  const std::size_t n_draws = draws_per_symbol();
+  for (std::size_t i = 0; i < n_draws; ++i) draws[i] = gen_.normal();
+  const double* cursor = draws;
+  const double power = step_power(cursor);
   if (ledger_ != nullptr) {
     ledger_->charge("laser", costs_.laser_j_per_symbol);
   }
   return make_field(power, phase_);
 }
 
+void laser::emit(std::size_t symbols, waveform& out) {
+  out.resize(symbols);
+  const std::size_t per_symbol = draws_per_symbol();
+  noise_scratch_.resize(per_symbol * symbols);
+  gen_.fill_normal(noise_scratch_);
+  const double* cursor = noise_scratch_.data();
+  for (std::size_t i = 0; i < symbols; ++i) {
+    // Sequence the power step before reading phase_ (step_power mutates it).
+    const double power = step_power(cursor);
+    out[i] = make_field(power, phase_);
+  }
+  if (ledger_ != nullptr && symbols > 0) {
+    ledger_->charge("laser",
+                    costs_.laser_j_per_symbol * static_cast<double>(symbols),
+                    symbols);
+  }
+}
+
+void laser::emit_powers(std::span<double> out_powers) {
+  const std::size_t symbols = out_powers.size();
+  const std::size_t per_symbol = draws_per_symbol();
+  noise_scratch_.resize(per_symbol * symbols);
+  gen_.fill_normal(noise_scratch_);
+  const double* cursor = noise_scratch_.data();
+  for (double& p : out_powers) p = step_power(cursor);
+  if (ledger_ != nullptr && symbols > 0) {
+    ledger_->charge("laser",
+                    costs_.laser_j_per_symbol * static_cast<double>(symbols),
+                    symbols);
+  }
+}
+
 waveform laser::emit(std::size_t symbols) {
   waveform out;
-  out.reserve(symbols);
-  for (std::size_t i = 0; i < symbols; ++i) out.push_back(emit_one());
+  emit(symbols, out);
   return out;
 }
 

@@ -2,6 +2,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "photonics/energy.hpp"
 #include "photonics/noise.hpp"
@@ -33,16 +35,37 @@ class laser {
   /// Emit `symbols` consecutive carrier samples.
   [[nodiscard]] waveform emit(std::size_t symbols);
 
+  /// Batch emit into preallocated storage (`out` is overwritten). Noise is
+  /// drawn with a single batched RNG fill; the result is bit-identical to
+  /// calling `emit_one` `symbols` times.
+  void emit(std::size_t symbols, waveform& out);
+
   /// Emit a single carrier sample (advances the phase walk).
   [[nodiscard]] field emit_one();
+
+  /// Intensity-path kernel: per-symbol optical powers [mW] without the
+  /// phasor construction. RIN and phase-walk noise are drawn in exactly
+  /// the scalar order (so the stream stays aligned with `emit_one`), but
+  /// the trigonometric projection of the phase is skipped — the carrier
+  /// phase is unobservable under direct square-law detection.
+  void emit_powers(std::span<double> out_powers);
 
   [[nodiscard]] const laser_config& config() const { return config_; }
 
  private:
+  /// Noise draws consumed per emitted symbol (RIN + phase walk).
+  [[nodiscard]] std::size_t draws_per_symbol() const;
+
+  /// Apply one symbol's pre-drawn noise; returns the symbol power [mW]
+  /// and advances the phase walk.
+  double step_power(const double*& draw);
+
   laser_config config_;
   rng gen_;
   double phase_ = 0.0;
   double phase_step_sigma_ = 0.0;
+  double rin_sigma_mw_ = 0.0;  ///< RIN power fluctuation, hoisted from config
+  std::vector<double> noise_scratch_;  ///< batched noise draws, reused
   energy_ledger* ledger_ = nullptr;
   energy_costs costs_{};
 };

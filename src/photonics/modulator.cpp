@@ -24,6 +24,8 @@ mzm_modulator::mzm_modulator(modulator_config config, double bias_rad,
   }
   // Finite extinction ratio: transmission never falls below this floor.
   floor_transmission_ = db_to_ratio(-config_.extinction_ratio_db);
+  field_loss_scale_ = field_loss_scale(config_.insertion_loss_db);
+  intensity_loss_ratio_ = db_to_ratio(-config_.insertion_loss_db);
 }
 
 field mzm_modulator::apply_phase_arg(field in, double total_phase_rad) const {
@@ -32,8 +34,7 @@ field mzm_modulator::apply_phase_arg(field in, double total_phase_rad) const {
   double t_field = std::cos(total_phase_rad);
   double t_intensity = t_field * t_field;
   t_intensity = std::max(t_intensity, floor_transmission_);
-  const double scale =
-      std::sqrt(t_intensity) * field_loss_scale(config_.insertion_loss_db);
+  const double scale = std::sqrt(t_intensity) * field_loss_scale_;
   // The sign of the field transfer matters for coherent cascades.
   return in * (t_field < 0.0 ? -scale : scale);
 }
@@ -52,18 +53,61 @@ double mzm_modulator::intensity_transfer(double drive_v) const {
       std::clamp(drive_v, -config_.max_drive_v, config_.max_drive_v);
   const double theta = 0.5 * bias_rad_ + 0.5 * pi * v / config_.v_pi;
   const double t = std::cos(theta);
-  return std::max(t * t, floor_transmission_) *
-         db_to_ratio(-config_.insertion_loss_db);
+  return std::max(t * t, floor_transmission_) * intensity_loss_ratio_;
 }
 
-field mzm_modulator::encode_unit(field in, double x) {
+field mzm_modulator::encode_unit_core(field in, double x) const {
   // Invert intensity transfer cos^2(theta) = x  =>  theta = acos(sqrt(x)).
   // The driver solves for the voltage; bias error still perturbs theta,
   // so calibration is imperfect exactly the way real hardware is.
   const double clamped = std::clamp(x, 0.0, 1.0);
   const double theta = std::acos(std::sqrt(clamped));
-  if (ledger_ != nullptr) ledger_->charge("modulator", costs_.modulator_drive_j);
   return apply_phase_arg(in, theta + 0.5 * bias_error_rad_);
+}
+
+field mzm_modulator::encode_unit(field in, double x) {
+  if (ledger_ != nullptr) ledger_->charge("modulator", costs_.modulator_drive_j);
+  return encode_unit_core(in, x);
+}
+
+void mzm_modulator::encode(std::span<const double> x, waveform& io) {
+  const std::size_t n = std::min(x.size(), io.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    io[i] = encode_unit_core(io[i], x[i]);
+  }
+  if (ledger_ != nullptr && n > 0) {
+    ledger_->charge("modulator",
+                    costs_.modulator_drive_j * static_cast<double>(n), n);
+  }
+}
+
+void mzm_modulator::encode_intensity(std::span<const double> x,
+                                     std::span<double> t_out) {
+  const std::size_t n = std::min(x.size(), t_out.size());
+  if (bias_error_rad_ == 0.0) {
+    // Calibrated encode with a perfect bias: cos^2(acos(sqrt(x))) == x, so
+    // the transmission is the clamped input held above the extinction
+    // floor — the hot path needs no transcendentals at all.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double clamped = std::clamp(x[i], 0.0, 1.0);
+      const double t_intensity = std::max(clamped, floor_transmission_);
+      t_out[i] = t_intensity * intensity_loss_ratio_;
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double clamped = std::clamp(x[i], 0.0, 1.0);
+      const double theta =
+          std::acos(std::sqrt(clamped)) + 0.5 * bias_error_rad_;
+      const double t_field = std::cos(theta);
+      const double t_intensity =
+          std::max(t_field * t_field, floor_transmission_);
+      t_out[i] = t_intensity * intensity_loss_ratio_;
+    }
+  }
+  if (ledger_ != nullptr && n > 0) {
+    ledger_->charge("modulator",
+                    costs_.modulator_drive_j * static_cast<double>(n), n);
+  }
 }
 
 // --------------------------------------------------------- phase_modulator
@@ -74,6 +118,7 @@ phase_modulator::phase_modulator(modulator_config config, rng bias_noise,
   if (config_.bias_error_sigma_rad > 0.0) {
     phase_error_rad_ = bias_noise.normal(0.0, config_.bias_error_sigma_rad);
   }
+  field_loss_scale_ = field_loss_scale(config_.insertion_loss_db);
 }
 
 field phase_modulator::modulate(field in, double drive_v) {
@@ -84,8 +129,7 @@ field phase_modulator::modulate(field in, double drive_v) {
 
 field phase_modulator::encode_phase(field in, double phase_rad) {
   if (ledger_ != nullptr) ledger_->charge("modulator", costs_.modulator_drive_j);
-  const double scale = field_loss_scale(config_.insertion_loss_db);
-  return in * std::polar(scale, phase_rad + phase_error_rad_);
+  return in * std::polar(field_loss_scale_, phase_rad + phase_error_rad_);
 }
 
 }  // namespace onfiber::phot

@@ -13,6 +13,8 @@
 // drift, which are the dominant static error sources in fabricated PICs.
 #pragma once
 
+#include <span>
+
 #include "photonics/energy.hpp"
 #include "photonics/optical.hpp"
 #include "photonics/rng.hpp"
@@ -49,6 +51,17 @@ class mzm_modulator {
   /// (up to extinction-ratio floor and bias error).
   [[nodiscard]] field encode_unit(field in, double x);
 
+  /// Batch calibrated encode, in place: io[i] <- encode_unit(io[i], x[i]).
+  /// Bit-identical to the scalar loop; a single bulk ledger charge.
+  void encode(std::span<const double> x, waveform& io);
+
+  /// Intensity-domain kernel for direct-detection paths: writes the
+  /// calibrated intensity transmission (extinction floor, bias error and
+  /// insertion loss included) of each x into `t_out`. With a calibrated
+  /// bias (no bias error) the transfer collapses algebraically to
+  /// max(clamp(x), floor) * loss — no trigonometry per symbol.
+  void encode_intensity(std::span<const double> x, std::span<double> t_out);
+
   /// Intensity transmission at drive voltage v (no noise), for tests.
   [[nodiscard]] double intensity_transfer(double drive_v) const;
 
@@ -57,11 +70,14 @@ class mzm_modulator {
 
  private:
   [[nodiscard]] field apply_phase_arg(field in, double total_phase_rad) const;
+  [[nodiscard]] field encode_unit_core(field in, double x) const;
 
   modulator_config config_;
   double bias_rad_;
   double bias_error_rad_ = 0.0;  ///< fixed fabrication/bias-control error
   double floor_transmission_ = 0.0;
+  double field_loss_scale_ = 1.0;      ///< insertion loss, field amplitude
+  double intensity_loss_ratio_ = 1.0;  ///< insertion loss, intensity
   energy_ledger* ledger_ = nullptr;
   energy_costs costs_{};
 };
@@ -83,6 +99,7 @@ class phase_modulator {
  private:
   modulator_config config_;
   double phase_error_rad_ = 0.0;
+  double field_loss_scale_ = 1.0;  ///< insertion loss, field amplitude
   energy_ledger* ledger_ = nullptr;
   energy_costs costs_{};
 };

@@ -29,25 +29,37 @@ std::vector<double> photodetector::detect(std::span<const field> in) {
   return out;
 }
 
-double photodetector::integrate(std::span<const field> in) {
-  if (in.empty()) return 0.0;
-  double mean_power_mw = 0.0;
-  for (const field& e : in) mean_power_mw += power_mw(e);
-  mean_power_mw /= static_cast<double>(in.size());
-
+double photodetector::integrate_mean(double mean_power_mw,
+                                     std::size_t symbols) {
   const double signal_a = expected_current_a(mean_power_mw);
 
   // Integrating N symbols narrows the effective noise bandwidth by N:
   // sample the noise with B' = B / N by scaling the variance, which for
   // Gaussian noise equals scaling sigma by 1/sqrt(N).
   receiver_noise_config narrowed = config_.noise;
-  narrowed.bandwidth_hz /= static_cast<double>(in.size());
+  narrowed.bandwidth_hz /= static_cast<double>(symbols);
   const double noise_a = narrowed.sample_current_noise_a(signal_a, gen_);
 
   if (ledger_ != nullptr) {
     ledger_->charge("photodetector", costs_.photodetector_readout_j);
   }
   return clip(signal_a + noise_a);
+}
+
+double photodetector::integrate(std::span<const field> in) {
+  if (in.empty()) return 0.0;
+  double mean_power_mw = 0.0;
+  for (const field& e : in) mean_power_mw += power_mw(e);
+  mean_power_mw /= static_cast<double>(in.size());
+  return integrate_mean(mean_power_mw, in.size());
+}
+
+double photodetector::integrate_power(std::span<const double> power_mw) {
+  if (power_mw.empty()) return 0.0;
+  double mean_power_mw = 0.0;
+  for (const double p : power_mw) mean_power_mw += p;
+  mean_power_mw /= static_cast<double>(power_mw.size());
+  return integrate_mean(mean_power_mw, power_mw.size());
 }
 
 }  // namespace onfiber::phot

@@ -41,6 +41,11 @@ class photodetector {
   /// count (coherent integration gain).
   [[nodiscard]] double integrate(std::span<const field> in);
 
+  /// Intensity-domain twin of `integrate`: the per-symbol optical powers
+  /// [mW] are already known (fused kernels track power directly, since a
+  /// square-law detector cannot observe the field phase anyway).
+  [[nodiscard]] double integrate_power(std::span<const double> power_mw);
+
   [[nodiscard]] const photodetector_config& config() const { return config_; }
 
   /// Noiseless expected current for a given optical power [mW] — the
@@ -52,6 +57,8 @@ class photodetector {
 
  private:
   [[nodiscard]] double clip(double current_a) const;
+  [[nodiscard]] double integrate_mean(double mean_power_mw,
+                                      std::size_t symbols);
 
   photodetector_config config_;
   rng gen_;

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdint>
 #include <numbers>
+#include <span>
 
 namespace onfiber::phot {
 
@@ -67,13 +68,33 @@ class rng {
     return static_cast<std::uint64_t>(wide >> 64);
   }
 
-  /// Standard normal deviate (Box-Muller; consumes two uniforms).
+  /// Standard normal deviate via the polar (Marsaglia) Box-Muller variant:
+  /// one (log, sqrt, div) evaluation and no trigonometry produces two
+  /// independent deviates; the second is cached as a spare so every other
+  /// call is a single load. Noise sampling is the hot path of every device
+  /// model, and this halves its transcendental cost twice over.
   [[nodiscard]] double normal() {
-    // Guard against log(0).
-    const double u1 = 1.0 - uniform();
-    const double u2 = uniform();
-    return std::sqrt(-2.0 * std::log(u1)) *
-           std::cos(2.0 * std::numbers::pi * u2);
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * uniform() - 1.0;
+      v = 2.0 * uniform() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);  // ~21% rejection; s == 0 guards log(0)
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * factor;
+    has_spare_ = true;
+    return u * factor;
+  }
+
+  /// Fill `out` with standard normal deviates, drawing exactly the same
+  /// sequence as repeated `normal()` calls (the batch device kernels rely
+  /// on this equivalence to stay bit-identical with the scalar paths).
+  void fill_normal(std::span<double> out) {
+    for (double& x : out) x = normal();
   }
 
   /// Normal deviate with the given mean and standard deviation.
@@ -116,6 +137,8 @@ class rng {
   }
 
   std::array<std::uint64_t, 4> state_{};
+  double spare_ = 0.0;      ///< cached second deviate of the polar pair
+  bool has_spare_ = false;  ///< whether `spare_` is valid
 };
 
 }  // namespace onfiber::phot
