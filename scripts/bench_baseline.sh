@@ -1,21 +1,28 @@
 #!/usr/bin/env bash
-# Build the release preset and record the kernel-performance baseline in
-# BENCH_kernels.json (repo root). Run after perf-relevant changes; the
-# fig2a speedup_x key is the scalar-vs-fused ratio the roadmap tracks.
+# Build the release preset and record the benchmark baselines in the repo
+# root: kernel performance in BENCH_kernels.json (the fig2a speedup_x key
+# is the scalar-vs-fused ratio the roadmap tracks) and reliability /
+# robustness numbers in BENCH_robustness.json. Run after perf- or
+# reliability-relevant changes.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JSON_OUT="${1:-BENCH_kernels.json}"
+ROBUSTNESS_OUT="${2:-BENCH_robustness.json}"
 
 cmake --preset release
 cmake --build --preset release -j"$(nproc)" --target \
   bench_fig2a_dot_product bench_table1_ml_inference \
-  bench_fig4_transponder_path
+  bench_fig4_transponder_path bench_ext_robustness
 
 ./build-release/bench/bench_fig2a_dot_product --json "$JSON_OUT"
 ./build-release/bench/bench_table1_ml_inference --json "$JSON_OUT"
 ./build-release/bench/bench_fig4_transponder_path --json "$JSON_OUT"
+./build-release/bench/bench_ext_robustness --json "$ROBUSTNESS_OUT"
 
 echo
 echo "== $JSON_OUT =="
 cat "$JSON_OUT"
+echo
+echo "== $ROBUSTNESS_OUT =="
+cat "$ROBUSTNESS_OUT"

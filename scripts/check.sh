@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# One-command correctness gate: build the asan preset (Debug +
+# Address/UB sanitizers) and run the full test suite under it. Any
+# memory error, UB trap, or test failure fails the script. Use before
+# sending a change; CI can call this directly.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset asan
+cmake --build --preset asan -j"$(nproc)"
+ctest --preset asan -j"$(nproc)"

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "network/topology.hpp"
@@ -114,6 +115,26 @@ struct compute_route_entry {
 /// routes steer along src -> site(s) -> dst shortest paths.
 [[nodiscard]] std::vector<compute_route_entry> routes_for_allocation(
     const allocation_problem& p, const allocation_result& r);
+
+// -------------------------------------------------------------- failover
+
+/// Controller's answer to "this compute site stopped responding: where
+/// should the retry go?" (§3: the controller continuously tracks
+/// transponder status and reconfigures).
+struct failover_plan {
+  net::node_id site = net::invalid_node;  ///< alternate compute site
+  double via_delay_s = 0.0;  ///< src -> site -> dst delay over live links
+};
+
+/// Pick the capable site minimizing src -> site -> dst propagation delay
+/// over currently-live links (`links_up`, optional), excluding
+/// `exclude_site` (the site the data plane observed timing out —
+/// invalid_node excludes nothing, which yields the primary site).
+/// nullopt when no capable site is reachable.
+[[nodiscard]] std::optional<failover_plan> plan_failover_site(
+    const net::topology& topo, std::span<const net::node_id> capable_sites,
+    net::node_id exclude_site, net::node_id src, net::node_id dst,
+    const std::vector<bool>* links_up = nullptr);
 
 // -------------------------------------------------------- reconfiguration
 

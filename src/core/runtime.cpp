@@ -2,6 +2,9 @@
 
 #include <limits>
 #include <stdexcept>
+#include <utility>
+
+#include "controller/controller.hpp"
 
 namespace onfiber::core {
 
@@ -20,12 +23,172 @@ onfiber_runtime::onfiber_runtime(net::simulator& sim, net::topology topo)
   }
   fabric_.set_deliver_callback(
       [this](const net::packet& pkt, net::node_id at, double t) {
-        const auto h = proto::peek_compute_header(pkt);
-        if (h && h->requires_compute() && !h->has_result()) {
-          ++stats_.uncomputed_delivered;
-        }
-        deliveries_.push_back(delivery{pkt, at, t});
+        on_delivery(pkt, at, t);
       });
+}
+
+void onfiber_runtime::on_delivery(const net::packet& pkt, net::node_id at,
+                                  double now) {
+  const auto h = proto::peek_compute_header(pkt);
+  // Acks are control plane: complete the task, record nothing.
+  if (h && h->is_ack()) {
+    complete_task(h->task_id, now);
+    return;
+  }
+  if (h && h->requires_compute() && !h->has_result()) {
+    ++stats_.uncomputed_delivered;
+  }
+  deliveries_.push_back(delivery{pkt, at, now});
+
+  if (!reliability_enabled_ || !h) return;
+  const auto it = pending_.find(h->task_id);
+  if (it == pending_.end()) return;
+  pending_task& task = it->second;
+  // A task that demanded compute but arrived raw is not done — leave the
+  // timer running so the retry (and eventually failover to a capable
+  // site) gets another chance at the computation.
+  if (h->requires_compute() && !h->has_result()) return;
+  if (task.delivered) ++reliability_stats_.duplicate_deliveries;
+  task.delivered = true;
+  // Emit the end-to-end ack back to the task source. The ack is a
+  // header-only compute packet riding the same fabric, so it shares the
+  // data plane's fate: it queues, it can be black-holed by a dead link,
+  // and a lost ack simply lets the retransmit timer fire (the duplicate
+  // delivery re-acks).
+  net::packet ack;
+  ack.src = fabric_.topo().node_at(at).address;
+  ack.dst = task.reply_to;
+  proto::compute_header ah;
+  ah.primitive = task.primitive;
+  ah.task_id = h->task_id;
+  ah.flags = proto::flag_ack | proto::flag_has_result;
+  proto::attach_compute_header(ack, ah);
+  ack.flow_hash = net::flow_hash_of(
+      ack.src, ack.dst, 7002, 7003, static_cast<std::uint8_t>(ack.proto));
+  ++reliability_stats_.acks_sent;
+  fabric_.send(std::move(ack), at);
+}
+
+void onfiber_runtime::enable_reliability(reliability_config cfg) {
+  if (cfg.initial_rto_s <= 0.0 || cfg.backoff < 1.0 || cfg.max_retries < 0 ||
+      cfg.failover_after < 1) {
+    throw std::invalid_argument("onfiber_runtime: bad reliability config");
+  }
+  reliability_enabled_ = true;
+  reliability_cfg_ = cfg;
+}
+
+std::uint32_t onfiber_runtime::submit_reliable(net::packet pkt,
+                                               net::node_id ingress) {
+  if (!reliability_enabled_) enable_reliability();
+  if (ingress >= fabric_.topo().node_count()) {
+    throw std::out_of_range("submit_reliable: bad ingress node");
+  }
+  const auto h = proto::peek_compute_header(pkt);
+  if (!h) {
+    throw std::invalid_argument(
+        "submit_reliable: packet carries no valid compute header");
+  }
+  if (pending_.contains(h->task_id)) {
+    throw std::invalid_argument(
+        "submit_reliable: task_id already in flight");
+  }
+  pending_task task;
+  task.reply_to = pkt.src;
+  task.request = std::move(pkt);
+  task.ingress = ingress;
+  task.primitive = h->primitive;
+  task.rto_s = reliability_cfg_.initial_rto_s;
+  task.submitted_s = sim_.now();
+  const auto [it, inserted] = pending_.emplace(h->task_id, std::move(task));
+  ++reliability_stats_.submitted;
+  trace_.push_back(reliability_event{reliability_event::kind::submit,
+                                     h->task_id, sim_.now(),
+                                     net::invalid_node});
+  send_tracked(it->second, h->task_id);
+  return h->task_id;
+}
+
+void onfiber_runtime::send_tracked(pending_task& task,
+                                   std::uint32_t task_id) {
+  ++task.generation;
+  net::packet copy = task.request;
+  fabric_.send(std::move(copy), task.ingress);
+  sim_.schedule(task.rto_s, [this, task_id, gen = task.generation] {
+    on_timeout(task_id, gen);
+  });
+}
+
+void onfiber_runtime::on_timeout(std::uint32_t task_id,
+                                 std::uint64_t generation) {
+  const auto it = pending_.find(task_id);
+  if (it == pending_.end()) return;  // acked in the meantime
+  pending_task& task = it->second;
+  if (task.generation != generation) return;  // stale timer
+
+  if (task.attempts >= reliability_cfg_.max_retries) {
+    // Terminal failure: retries exhausted.
+    trace_.push_back(reliability_event{reliability_event::kind::fail,
+                                       task_id, sim_.now(),
+                                       net::invalid_node});
+    ++reliability_stats_.failed;
+    pending_.erase(it);
+    if (on_task_failed_) on_task_failed_(task_id);
+    return;
+  }
+
+  ++task.attempts;
+  task.rto_s *= reliability_cfg_.backoff;
+
+  // Repeated timeouts mean the current compute site (or the path to it)
+  // is gone: ask the controller for an alternate site over live links and
+  // pin this task's retries to it.
+  if (task.attempts >= reliability_cfg_.failover_after) {
+    const net::topology& topo = fabric_.topo();
+    const auto dst_node = topo.node_for_address(task.request.dst);
+    const auto& capable =
+        capable_sites_[static_cast<std::size_t>(task.primitive)];
+    if (dst_node && !capable.empty()) {
+      net::node_id exclude = task.pinned_site;
+      if (exclude == net::invalid_node) {
+        // First failover: exclude the site the default (install-time)
+        // routing would have used.
+        const auto primary = ctrl::plan_failover_site(
+            topo, capable, net::invalid_node, task.ingress, *dst_node);
+        if (primary) exclude = primary->site;
+      }
+      const auto plan =
+          ctrl::plan_failover_site(topo, capable, exclude, task.ingress,
+                                   *dst_node, &fabric_.links_up());
+      if (plan && plan->site != task.pinned_site) {
+        task.pinned_site = plan->site;
+        ++reliability_stats_.failovers;
+        trace_.push_back(
+            reliability_event{reliability_event::kind::failover, task_id,
+                              sim_.now(), plan->site});
+      }
+    }
+  }
+
+  ++reliability_stats_.retransmits;
+  trace_.push_back(reliability_event{reliability_event::kind::retransmit,
+                                     task_id, sim_.now(),
+                                     task.pinned_site});
+  send_tracked(task, task_id);
+}
+
+void onfiber_runtime::complete_task(std::uint32_t task_id, double now) {
+  const auto it = pending_.find(task_id);
+  if (it == pending_.end()) return;  // duplicate ack
+  const double latency = now - it->second.submitted_s;
+  ++reliability_stats_.completed;
+  reliability_stats_.total_completion_s += latency;
+  if (latency > reliability_stats_.max_completion_s) {
+    reliability_stats_.max_completion_s = latency;
+  }
+  trace_.push_back(reliability_event{reliability_event::kind::ack, task_id,
+                                     now, net::invalid_node});
+  pending_.erase(it);
 }
 
 photonic_engine& onfiber_runtime::deploy_engine(net::node_id at,
@@ -189,6 +352,24 @@ net::hook_decision onfiber_runtime::on_packet(net::node_id at,
     // Unable to compute (malformed bounds / wrong shape): fall through to
     // normal forwarding so the destination can see the failure.
     return keep_going;
+  }
+
+  // Failover pinning: a task the controller re-homed after repeated
+  // timeouts follows the reconverged plain routes toward its pinned site,
+  // overriding the (possibly stale) compute tables.
+  if (reliability_enabled_ && !pending_.empty()) {
+    const auto it = pending_.find(header->task_id);
+    if (it != pending_.end() &&
+        it->second.pinned_site != net::invalid_node &&
+        it->second.pinned_site != at) {
+      const auto hop = fabric_.next_hop(
+          at, fabric_.topo().node_at(it->second.pinned_site).address);
+      if (hop && *hop != at) {
+        ++stats_.redirected;
+        return net::hook_decision{net::hook_decision::action_type::redirect,
+                                  *hop};
+      }
+    }
   }
 
   // Flow-spread steering (§4 congestion mitigation): hash the flow

@@ -14,7 +14,10 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
+#include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "core/photonic_engine.hpp"
@@ -94,6 +97,92 @@ class onfiber_runtime {
   /// 0 for nodes without engines).
   [[nodiscard]] double site_busy_s(net::node_id at) const;
 
+  // -------------------------------------------------------- reliability
+  //
+  // End-to-end ack/retry/failover for compute tasks (§5: on-fiber compute
+  // must survive drops, link failures and reconvergence windows). A task
+  // submitted via submit_reliable() is tracked in a table keyed by
+  // task_id; the destination's delivery triggers an ack packet back to
+  // the source, and a timer retransmits the stored request with
+  // exponential backoff until the ack lands or the retry cap is hit.
+  // After `failover_after` consecutive timeouts the runtime asks the
+  // controller (ctrl::plan_failover_site) for an alternate compute site
+  // over live links and pins the task's retries to it.
+
+  struct reliability_config {
+    double initial_rto_s = 0.05;  ///< first retransmit timeout
+    double backoff = 2.0;         ///< rto multiplier per timeout
+    int max_retries = 6;          ///< retransmits before terminal failure
+    int failover_after = 2;       ///< consecutive timeouts before failover
+  };
+
+  struct reliability_stats {
+    std::uint64_t submitted = 0;   ///< tasks entered into the table
+    std::uint64_t completed = 0;   ///< tasks acknowledged end to end
+    std::uint64_t failed = 0;      ///< tasks past the retry cap
+    std::uint64_t retransmits = 0; ///< retry transmissions
+    std::uint64_t failovers = 0;   ///< controller-driven site changes
+    std::uint64_t acks_sent = 0;   ///< acks emitted at destinations
+    std::uint64_t duplicate_deliveries = 0;  ///< dupes from retransmits
+    double total_completion_s = 0.0;  ///< sum of submit->ack latencies
+    double max_completion_s = 0.0;    ///< worst submit->ack latency
+
+    [[nodiscard]] double mean_completion_s() const {
+      return completed > 0 ? total_completion_s /
+                                 static_cast<double>(completed)
+                           : 0.0;
+    }
+  };
+
+  /// One line of the recovery trace. Traces are appended in event order,
+  /// so at a fixed seed the whole trace is bit-reproducible (the
+  /// determinism tests compare them across runs and thread counts).
+  struct reliability_event {
+    enum class kind : std::uint8_t {
+      submit,
+      retransmit,
+      failover,
+      ack,
+      fail,
+    };
+    kind what = kind::submit;
+    std::uint32_t task_id = 0;
+    double time_s = 0.0;
+    net::node_id site = net::invalid_node;  ///< pinned site (failover only)
+  };
+
+  /// Called once per task that exhausts its retries (terminal failure).
+  using task_failure_fn = std::function<void(std::uint32_t task_id)>;
+
+  /// Turn the reliability layer on (idempotent; reconfigures timers for
+  /// tasks submitted afterwards).
+  void enable_reliability(reliability_config cfg);
+  void enable_reliability() { enable_reliability(reliability_config{}); }
+  [[nodiscard]] bool reliability_enabled() const {
+    return reliability_enabled_;
+  }
+  void set_task_failure_callback(task_failure_fn cb) {
+    on_task_failed_ = std::move(cb);
+  }
+
+  /// Submit a compute packet with end-to-end tracking. The packet must
+  /// carry a valid compute header; its task_id keys the task table and
+  /// must not collide with a task still in flight. Returns the task_id.
+  std::uint32_t submit_reliable(net::packet pkt, net::node_id ingress);
+
+  /// Tasks still awaiting an ack.
+  [[nodiscard]] std::size_t tasks_in_flight() const {
+    return pending_.size();
+  }
+
+  [[nodiscard]] const reliability_stats& reliability() const {
+    return reliability_stats_;
+  }
+  [[nodiscard]] const std::vector<reliability_event>& recovery_trace()
+      const {
+    return trace_;
+  }
+
  private:
   struct site {
     std::unique_ptr<photonic_engine> engine;
@@ -102,7 +191,25 @@ class onfiber_runtime {
     std::uint64_t computed = 0;
   };
 
+  struct pending_task {
+    net::packet request;          ///< stored copy for retransmission
+    net::node_id ingress = net::invalid_node;
+    net::ipv4 reply_to{};         ///< where acks are addressed (pkt.src)
+    proto::primitive_id primitive = proto::primitive_id::none;
+    double rto_s = 0.0;           ///< current retransmit timeout
+    int attempts = 0;             ///< consecutive timeouts so far
+    std::uint64_t generation = 0; ///< invalidates stale timers
+    double submitted_s = 0.0;     ///< first submission time
+    net::node_id pinned_site = net::invalid_node;  ///< failover target
+    bool delivered = false;       ///< destination saw it (ack may be lost)
+  };
+
   net::hook_decision on_packet(net::node_id at, net::packet& pkt, double now);
+
+  void on_delivery(const net::packet& pkt, net::node_id at, double now);
+  void send_tracked(pending_task& task, std::uint32_t task_id);
+  void on_timeout(std::uint32_t task_id, std::uint64_t generation);
+  void complete_task(std::uint32_t task_id, double now);
 
   /// Per-packet fixed overhead at a compute site: optical preamble
   /// detection (17 symbols on the P2 matcher) + result insertion.
@@ -123,6 +230,14 @@ class onfiber_runtime {
   /// next_hop_toward_[u][v]: first hop of the shortest path u -> v
   /// (invalid_node when unreachable), for spread steering.
   std::vector<std::vector<net::node_id>> next_hop_toward_;
+
+  // -------------------------------------------------- reliability state
+  bool reliability_enabled_ = false;
+  reliability_config reliability_cfg_{};
+  reliability_stats reliability_stats_{};
+  std::unordered_map<std::uint32_t, pending_task> pending_;
+  std::vector<reliability_event> trace_;
+  task_failure_fn on_task_failed_;
 };
 
 }  // namespace onfiber::core

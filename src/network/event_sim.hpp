@@ -30,15 +30,27 @@ class simulator {
     queue_.push(event{time_s, next_seq_++, std::move(fn)});
   }
 
-  /// Run until the event queue drains. Returns executed event count.
-  std::uint64_t run() {
+  /// No-limit sentinel for run().
+  static constexpr std::uint64_t unlimited_events = ~std::uint64_t{0};
+
+  /// Run until the event queue drains, or until `max_events` handlers
+  /// have executed. Returns the executed event count. A handler that
+  /// unconditionally self-reschedules (retry timers make this easy to
+  /// write) would otherwise spin run() forever; with a cap the call
+  /// returns early and `overran()` reports the runaway so a test binary
+  /// fails loudly instead of hanging.
+  std::uint64_t run(std::uint64_t max_events = unlimited_events) {
     std::uint64_t executed = 0;
-    while (!queue_.empty()) {
+    while (!queue_.empty() && executed < max_events) {
       step();
       ++executed;
     }
+    overran_ = !queue_.empty() && executed >= max_events;
     return executed;
   }
+
+  /// Did the last run() stop at its event cap with work still queued?
+  [[nodiscard]] bool overran() const { return overran_; }
 
   /// Run until the queue drains or simulated time exceeds `until_s`.
   std::uint64_t run_until(double until_s) {
@@ -78,6 +90,7 @@ class simulator {
 
   double now_s_ = 0.0;
   std::uint64_t next_seq_ = 0;
+  bool overran_ = false;
   std::priority_queue<event, std::vector<event>, later> queue_;
 };
 

@@ -39,6 +39,49 @@ void wan_fabric::restore_link(std::size_t link_index) {
   link_up_.at(link_index) = true;
 }
 
+void wan_fabric::schedule_flaps(std::span<const link_flap> flaps,
+                                double reconvergence_delay_s,
+                                std::uint64_t jitter_seed,
+                                double reconvergence_jitter_s) {
+  if (reconvergence_delay_s < 0.0 || reconvergence_jitter_s < 0.0) {
+    throw std::invalid_argument(
+        "wan_fabric: reconvergence delay/jitter must be >= 0");
+  }
+  // Draw all jitter up front, in flap order, so the schedule is fixed at
+  // scheduling time regardless of event interleaving.
+  phot::rng jitter{jitter_seed};
+  const auto reconverge_after = [&](double event_s) {
+    const double extra = reconvergence_jitter_s > 0.0
+                             ? jitter.uniform(0.0, reconvergence_jitter_s)
+                             : 0.0;
+    sim_.schedule_at(event_s + reconvergence_delay_s + extra, [this] {
+      install_shortest_path_routes();
+      ++reconvergences_;
+    });
+  };
+  for (const link_flap& f : flaps) {
+    if (f.link_index >= link_up_.size()) {
+      throw std::out_of_range("wan_fabric: bad flap link index");
+    }
+    if (f.restore_at_s < f.fail_at_s) {
+      throw std::invalid_argument("wan_fabric: flap restores before failing");
+    }
+    sim_.schedule_at(f.fail_at_s,
+                     [this, li = f.link_index] { fail_link(li); });
+    reconverge_after(f.fail_at_s);
+    sim_.schedule_at(f.restore_at_s,
+                     [this, li = f.link_index] { restore_link(li); });
+    reconverge_after(f.restore_at_s);
+  }
+}
+
+std::optional<node_id> wan_fabric::next_hop(node_id at, ipv4 dst) const {
+  if (at >= tables_.size()) return std::nullopt;
+  const auto entry = tables_[at].lookup(dst);
+  if (!entry) return std::nullopt;
+  return entry->next;
+}
+
 void wan_fabric::set_hook(node_id at, hook_fn hook) {
   if (at >= hooks_.size()) throw std::out_of_range("wan_fabric: bad node");
   hooks_[at] = std::move(hook);

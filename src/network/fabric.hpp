@@ -12,6 +12,7 @@
 
 #include <functional>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "network/event_sim.hpp"
@@ -53,6 +54,32 @@ class wan_fabric {
   /// keep pointing at it until reinstalled (the reconvergence window).
   void fail_link(std::size_t link_index);
   void restore_link(std::size_t link_index);
+
+  /// One scripted link outage: the link goes down at `fail_at_s` and
+  /// comes back at `restore_at_s` (simulation time).
+  struct link_flap {
+    std::size_t link_index = 0;
+    double fail_at_s = 0.0;
+    double restore_at_s = 0.0;
+  };
+
+  /// Fault-injection schedule (§5 WAN realities): each flap fails and
+  /// later restores its link; after every state change the routing plane
+  /// reconverges (install_shortest_path_routes) only once
+  /// `reconvergence_delay_s` has elapsed — in that window packets chase
+  /// stale routes into the dead link and are black-holed. A deterministic
+  /// phot::rng stream seeded with `jitter_seed` adds up to
+  /// `reconvergence_jitter_s` of extra per-event reconvergence delay, so
+  /// schedules are bit-reproducible per seed.
+  void schedule_flaps(std::span<const link_flap> flaps,
+                      double reconvergence_delay_s,
+                      std::uint64_t jitter_seed = 0,
+                      double reconvergence_jitter_s = 0.0);
+
+  /// Routing-plane reconvergences executed so far (scheduled flaps only).
+  [[nodiscard]] std::uint64_t reconvergences() const {
+    return reconvergences_;
+  }
   [[nodiscard]] bool link_is_up(std::size_t link_index) const {
     return link_up_.at(link_index);
   }
@@ -77,6 +104,12 @@ class wan_fabric {
 
   [[nodiscard]] const topology& topo() const { return topo_; }
   [[nodiscard]] simulator& sim() { return sim_; }
+
+  /// Current routing-table next hop at `at` toward `dst` (nullopt when
+  /// the table has no route). Lets higher layers — the reliability
+  /// layer's failover steering — follow the same converged routes the
+  /// data plane uses instead of a stale private copy.
+  [[nodiscard]] std::optional<node_id> next_hop(node_id at, ipv4 dst) const;
 
   // ------------------------------------------------------------- stats
   [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
@@ -118,6 +151,7 @@ class wan_fabric {
 
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t reconvergences_ = 0;
 };
 
 }  // namespace onfiber::net

@@ -27,15 +27,20 @@ namespace onfiber::proto {
   return static_cast<double>(b) / 255.0;
 }
 
-/// Encode x in [-1,1] as one byte (offset binary: 0 -> -1, 255 -> +1).
+/// Encode x in [-1,1] as one byte (offset binary around 128 with a
+/// 1/127 step: 1 -> -1, 128 -> 0, 255 -> +1). The grid is symmetric
+/// about an exact zero, so encode/decode is odd in x and 0.0 round-trips
+/// exactly — the old (x+1)*127.5 mapping had no code for zero and put a
+/// +1/255 DC bias on every differential-rail vector. Byte 0 is never
+/// produced (decode clamps it to -1).
 [[nodiscard]] inline std::uint8_t encode_signed_u8(double x) {
   const double c = std::clamp(x, -1.0, 1.0);
-  return static_cast<std::uint8_t>(std::lround((c + 1.0) * 127.5));
+  return static_cast<std::uint8_t>(128 + std::lround(c * 127.0));
 }
 
 /// Decode offset-binary byte to [-1,1].
 [[nodiscard]] inline double decode_signed_u8(std::uint8_t b) {
-  return static_cast<double>(b) / 127.5 - 1.0;
+  return std::max(-1.0, (static_cast<double>(b) - 128.0) / 127.0);
 }
 
 [[nodiscard]] inline std::vector<std::uint8_t> encode_unit_vector(
@@ -71,7 +76,11 @@ namespace onfiber::proto {
 }
 
 /// Encode a scalar result with a caller-chosen scale into 2 bytes
-/// (big-endian fixed point, value/scale in [-1, 1]).
+/// (big-endian fixed point, value/scale in [-1, 1]). Audited for the u8
+/// midpoint issue: the two's-complement grid q = round(norm * 32767) is
+/// already symmetric about an exact zero (0.0 -> 0x0000 -> 0.0), so no
+/// remapping is needed; encode never emits -32768, and decode clamps that
+/// byte pattern to -scale to keep the map odd on all 2^16 inputs.
 [[nodiscard]] inline std::array<std::uint8_t, 2> encode_scalar_i16(
     double value, double scale) {
   const double norm = scale != 0.0 ? std::clamp(value / scale, -1.0, 1.0) : 0.0;
@@ -85,7 +94,7 @@ namespace onfiber::proto {
                                               double scale) {
   const auto u = static_cast<std::uint16_t>((std::uint16_t{hi} << 8) | lo);
   const auto q = static_cast<std::int16_t>(u);
-  return static_cast<double>(q) / 32767.0 * scale;
+  return std::max(-1.0, static_cast<double>(q) / 32767.0) * scale;
 }
 
 }  // namespace onfiber::proto

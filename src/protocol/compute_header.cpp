@@ -78,6 +78,21 @@ parse_result parse(std::span<const std::uint8_t> data) {
     r.error = parse_error::too_short;
     return r;
   }
+  // Verify the checksum before any framing or semantic field: a bit-flip
+  // anywhere in the header must classify as bad_checksum, never as
+  // bad_magic/bad_version/bad_primitive — the robustness benches build
+  // their error taxonomy on that distinction (in-flight corruption vs.
+  // genuinely malformed requests). bad_magic etc. remain reachable only
+  // for intact buffers that really carry something else.
+  std::uint8_t scratch[compute_header_bytes];
+  std::copy_n(data.begin(), compute_header_bytes, scratch);
+  scratch[compute_header_bytes - 2] = 0;
+  scratch[compute_header_bytes - 1] = 0;
+  if (internet_checksum({scratch, compute_header_bytes}) !=
+      get_u16(data, compute_header_bytes - 2)) {
+    r.error = parse_error::bad_checksum;
+    return r;
+  }
   if (get_u16(data, 0) != compute_magic) {
     r.error = parse_error::bad_magic;
     return r;
@@ -89,16 +104,6 @@ parse_result parse(std::span<const std::uint8_t> data) {
   if (!valid_primitive(data[3]) || !valid_primitive(data[18]) ||
       !valid_primitive(data[19])) {
     r.error = parse_error::bad_primitive;
-    return r;
-  }
-  // Verify checksum: recompute with the checksum field zeroed.
-  std::uint8_t scratch[compute_header_bytes];
-  std::copy_n(data.begin(), compute_header_bytes, scratch);
-  scratch[compute_header_bytes - 2] = 0;
-  scratch[compute_header_bytes - 1] = 0;
-  if (internet_checksum({scratch, compute_header_bytes}) !=
-      get_u16(data, compute_header_bytes - 2)) {
-    r.error = parse_error::bad_checksum;
     return r;
   }
   compute_header& h = r.header;

@@ -49,6 +49,9 @@ enum header_flags : std::uint8_t {
   flag_require_compute = 0x02, ///< drop at dst if never computed
   flag_intensity_encoded = 0x04,  ///< compute input is intensity-modulated
   flag_phase_encoded = 0x08,      ///< compute input is BPSK phase-encoded
+  flag_ack = 0x10,  ///< end-to-end delivery ack (reliability layer); the
+                    ///< header is the whole message, task_id names the
+                    ///< acknowledged task
 };
 
 inline constexpr std::uint16_t compute_magic = 0x0F1B;  // "OFIBer"
@@ -74,6 +77,7 @@ struct compute_header {
   std::uint8_t batch = 1;
 
   [[nodiscard]] bool has_result() const { return flags & flag_has_result; }
+  [[nodiscard]] bool is_ack() const { return flags & flag_ack; }
   [[nodiscard]] bool requires_compute() const {
     return flags & flag_require_compute;
   }

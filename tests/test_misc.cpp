@@ -56,9 +56,11 @@ TEST(Misc, CodecExactEndpoints) {
   EXPECT_EQ(proto::encode_unit_u8(1.0), 255);
   EXPECT_DOUBLE_EQ(proto::decode_unit_u8(0), 0.0);
   EXPECT_DOUBLE_EQ(proto::decode_unit_u8(255), 1.0);
-  // 0.0 encodes to 128 (half-way rounds up); the grid has no exact zero.
+  // The signed grid is symmetric about byte 128 == exact 0.0.
   EXPECT_EQ(proto::encode_signed_u8(0.0), 128);
-  EXPECT_NEAR(proto::decode_signed_u8(128), 0.0, 1.0 / 255.0);
+  EXPECT_DOUBLE_EQ(proto::decode_signed_u8(128), 0.0);
+  EXPECT_DOUBLE_EQ(proto::decode_signed_u8(255), 1.0);
+  EXPECT_DOUBLE_EQ(proto::decode_signed_u8(1), -1.0);
 }
 
 TEST(Misc, TopologyNeighborErrors) {

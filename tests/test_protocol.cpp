@@ -70,33 +70,88 @@ TEST(ComputeHeader, TooShortRejected) {
   }
 }
 
+/// Recompute and refresh the checksum of a (possibly mutated) wire
+/// header, so structural errors can be observed past the checksum gate.
+std::vector<std::uint8_t> with_fixed_checksum(std::vector<std::uint8_t> wire) {
+  wire[compute_header_bytes - 2] = 0;
+  wire[compute_header_bytes - 1] = 0;
+  const std::uint16_t sum = internet_checksum(wire);
+  wire[compute_header_bytes - 2] = static_cast<std::uint8_t>(sum >> 8);
+  wire[compute_header_bytes - 1] = static_cast<std::uint8_t>(sum & 0xff);
+  return wire;
+}
+
 TEST(ComputeHeader, BadMagicRejected) {
+  // Structural errors are reported only for intact (checksum-valid)
+  // buffers; a sender that genuinely framed a different protocol.
   auto wire = serialize(sample_header());
   wire[0] ^= 0xff;
-  EXPECT_EQ(parse(wire).error, parse_error::bad_magic);
+  EXPECT_EQ(parse(wire).error, parse_error::bad_checksum);
+  EXPECT_EQ(parse(with_fixed_checksum(wire)).error, parse_error::bad_magic);
 }
 
 TEST(ComputeHeader, BadVersionRejected) {
   auto wire = serialize(sample_header());
   wire[2] = 99;
-  EXPECT_EQ(parse(wire).error, parse_error::bad_version);
+  EXPECT_EQ(parse(wire).error, parse_error::bad_checksum);
+  EXPECT_EQ(parse(with_fixed_checksum(wire)).error, parse_error::bad_version);
 }
 
 TEST(ComputeHeader, BadPrimitiveRejected) {
   auto wire = serialize(sample_header());
   wire[3] = 200;
-  EXPECT_EQ(parse(wire).error, parse_error::bad_primitive);
+  EXPECT_EQ(parse(wire).error, parse_error::bad_checksum);
+  EXPECT_EQ(parse(with_fixed_checksum(wire)).error,
+            parse_error::bad_primitive);
+  // Chain stages validate the same way.
+  auto stage = serialize(sample_header());
+  stage[18] = 7;
+  EXPECT_EQ(parse(with_fixed_checksum(stage)).error,
+            parse_error::bad_primitive);
 }
 
-TEST(ComputeHeader, SingleBitCorruptionCaught) {
-  // Every single-bit flip in the body must be caught by checksum (or an
-  // earlier structural check).
+TEST(ComputeHeader, SingleBitCorruptionIsBadChecksum) {
+  // The checksum is verified before any framing or semantic field, so a
+  // bit-flip anywhere — magic, version, primitive, stages, even the
+  // checksum itself — must classify as bad_checksum, never as
+  // bad_magic/bad_version/bad_primitive. The robustness benches' error
+  // taxonomy (in-flight corruption vs malformed request) depends on it.
   const auto wire = serialize(sample_header());
   for (std::size_t byte = 0; byte < wire.size(); ++byte) {
     for (int bit = 0; bit < 8; ++bit) {
       auto corrupted = wire;
       corrupted[byte] ^= static_cast<std::uint8_t>(1U << bit);
-      EXPECT_FALSE(parse(corrupted)) << "byte " << byte << " bit " << bit;
+      EXPECT_EQ(parse(corrupted).error, parse_error::bad_checksum)
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(ComputeHeader, EveryByteValueCorruptionIsBadChecksum) {
+  // Exhaustive per-byte fuzz: every wrong value of every header byte.
+  phot::rng g(42);
+  for (int iter = 0; iter < 8; ++iter) {
+    compute_header h;
+    h.primitive = static_cast<primitive_id>(1 + g.below(4));
+    h.task_id = static_cast<std::uint32_t>(g());
+    h.input_offset = static_cast<std::uint16_t>(g());
+    h.input_length = static_cast<std::uint16_t>(g());
+    h.result_offset = static_cast<std::uint16_t>(g());
+    h.result_length = static_cast<std::uint16_t>(g());
+    h.flags = static_cast<std::uint8_t>(g());
+    h.hops = static_cast<std::uint8_t>(g());
+    const auto wire = serialize(h);
+    for (std::size_t byte = 0; byte < wire.size(); ++byte) {
+      for (int v = 0; v < 256; ++v) {
+        if (static_cast<std::uint8_t>(v) == wire[byte]) continue;
+        auto corrupted = wire;
+        corrupted[byte] = static_cast<std::uint8_t>(v);
+        // A single-byte substitution shifts the ones'-complement sum by
+        // less than 0xffff, so it can never alias — detection is
+        // guaranteed, and it must always be classified as corruption.
+        EXPECT_EQ(parse(corrupted).error, parse_error::bad_checksum)
+            << "iter " << iter << " byte " << byte << " value " << v;
+      }
     }
   }
 }
@@ -216,7 +271,52 @@ TEST(Codec, ClampsOutOfRange) {
   EXPECT_EQ(encode_unit_u8(2.0), 255);
   EXPECT_EQ(encode_unit_u8(-1.0), 0);
   EXPECT_EQ(encode_signed_u8(5.0), 255);
-  EXPECT_EQ(encode_signed_u8(-5.0), 0);
+  // The symmetric grid bottoms out at byte 1 (byte 0 is never produced;
+  // decode clamps it to -1).
+  EXPECT_EQ(encode_signed_u8(-5.0), 1);
+  EXPECT_DOUBLE_EQ(decode_signed_u8(0), -1.0);
+}
+
+TEST(Codec, SignedZeroRoundTripsExactly) {
+  // The old (x+1)*127.5 offset-binary map had no code for 0.0 —
+  // encode(0) = 128 decoded to +1/255, a DC bias on every
+  // differential-rail vector. The symmetric map must be exact at zero.
+  EXPECT_EQ(encode_signed_u8(0.0), 128);
+  EXPECT_EQ(decode_signed_u8(encode_signed_u8(0.0)), 0.0);
+  EXPECT_EQ(decode_signed_u8(128), 0.0);
+  // ... and exact at the endpoints.
+  EXPECT_DOUBLE_EQ(decode_signed_u8(encode_signed_u8(1.0)), 1.0);
+  EXPECT_DOUBLE_EQ(decode_signed_u8(encode_signed_u8(-1.0)), -1.0);
+}
+
+TEST(Codec, SignedRoundTripIsOdd) {
+  // decode(encode(x)) must be odd in x: quantization error may not
+  // introduce a sign asymmetry anywhere on the grid.
+  for (int i = 0; i <= 1000; ++i) {
+    const double x = static_cast<double>(i) / 1000.0;
+    EXPECT_DOUBLE_EQ(decode_signed_u8(encode_signed_u8(x)),
+                     -decode_signed_u8(encode_signed_u8(-x)))
+        << "x = " << x;
+  }
+}
+
+TEST(Codec, ScalarI16ZeroAndSymmetry) {
+  // Audit of the midpoint issue on the 16-bit codec: zero is exact and
+  // the map is odd (two's-complement grid is already symmetric).
+  const auto [zh, zl] = encode_scalar_i16(0.0, 4.0);
+  EXPECT_EQ(zh, 0);
+  EXPECT_EQ(zl, 0);
+  EXPECT_EQ(decode_scalar_i16(zh, zl, 4.0), 0.0);
+  for (int i = 0; i <= 100; ++i) {
+    const double v = 4.0 * static_cast<double>(i) / 100.0;
+    const auto [ph, pl] = encode_scalar_i16(v, 4.0);
+    const auto [nh, nl] = encode_scalar_i16(-v, 4.0);
+    EXPECT_DOUBLE_EQ(decode_scalar_i16(ph, pl, 4.0),
+                     -decode_scalar_i16(nh, nl, 4.0))
+        << "v = " << v;
+  }
+  // 0x8000 is never produced by encode; decode clamps it to -scale.
+  EXPECT_DOUBLE_EQ(decode_scalar_i16(0x80, 0x00, 4.0), -4.0);
 }
 
 TEST(Codec, ScalarI16RoundTrip) {
