@@ -40,7 +40,7 @@ flap_outcome run_flap_scenario(bool reliable,
                                const digital::dataset& data,
                                const digital::dnn_model& model,
                                core::onfiber_runtime::reliability_stats* out,
-                               std::uint64_t* baseline_dropped) {
+                               net::drop_stats* baseline_drops) {
   net::simulator sim;
   core::onfiber_runtime rt(sim, net::make_figure1_topology());
   rt.deploy_engine(1, {}, 11).configure_dnn(apps::to_photonic_task(model));
@@ -96,7 +96,7 @@ flap_outcome run_flap_scenario(bool reliable,
     if (r->predicted_class == data.labels[idx]) ++o.correct;
   }
   if (out) *out = rt.reliability();
-  if (baseline_dropped) *baseline_dropped = rt.fabric().dropped();
+  if (baseline_drops) *baseline_drops = rt.fabric().drops();
   return o;
 }
 
@@ -170,9 +170,9 @@ int main(int argc, char** argv) {
   note("both links of compute site B flap (20-70 ms window), plain routes");
   note("reconverge after ~5 ms, compute routes stay stale");
 
-  std::uint64_t baseline_dropped = 0;
+  net::drop_stats baseline_drops;
   const flap_outcome seed_path =
-      run_flap_scenario(false, data, model, nullptr, &baseline_dropped);
+      run_flap_scenario(false, data, model, nullptr, &baseline_drops);
   core::onfiber_runtime::reliability_stats rel{};
   const flap_outcome reliable_path =
       run_flap_scenario(true, data, model, &rel, nullptr);
@@ -192,6 +192,15 @@ int main(int argc, char** argv) {
   std::printf("  completion latency: mean %s, max %s\n",
               fmt_time(rel.mean_completion_s()).c_str(),
               fmt_time(rel.max_completion_s).c_str());
+  std::printf(
+      "  seed-path drops by reason: link_down %llu, no_route %llu, "
+      "hook %llu, ttl %llu, bad_redirect %llu (total %llu)\n",
+      static_cast<unsigned long long>(baseline_drops.link_down),
+      static_cast<unsigned long long>(baseline_drops.no_route),
+      static_cast<unsigned long long>(baseline_drops.hook_drop),
+      static_cast<unsigned long long>(baseline_drops.ttl_expired),
+      static_cast<unsigned long long>(baseline_drops.bad_redirect),
+      static_cast<unsigned long long>(baseline_drops.total()));
   note("");
   note("every task in flight across the outage dies on the seed path;");
   note("retransmits with backoff + controller failover to site C recover");
@@ -200,7 +209,17 @@ int main(int argc, char** argv) {
   report.set("flap_tasks", kPackets);
   report.set("flap_seed_completed", seed_path.with_result);
   report.set("flap_seed_delivery_rate_pct", seed_rate);
-  report.set("flap_seed_dropped", static_cast<double>(baseline_dropped));
+  report.set("flap_seed_dropped", static_cast<double>(baseline_drops.total()));
+  report.set("flap_seed_drop_link_down",
+             static_cast<double>(baseline_drops.link_down));
+  report.set("flap_seed_drop_no_route",
+             static_cast<double>(baseline_drops.no_route));
+  report.set("flap_seed_drop_hook_drop",
+             static_cast<double>(baseline_drops.hook_drop));
+  report.set("flap_seed_drop_ttl_expired",
+             static_cast<double>(baseline_drops.ttl_expired));
+  report.set("flap_seed_drop_bad_redirect",
+             static_cast<double>(baseline_drops.bad_redirect));
   report.set("flap_reliable_completed", static_cast<double>(rel.completed));
   report.set("flap_reliable_with_result", reliable_path.with_result);
   report.set("flap_reliable_delivery_rate_pct", rel_rate);

@@ -1,24 +1,27 @@
 #!/usr/bin/env bash
 # Build the release preset and record the benchmark baselines in the repo
 # root: kernel performance in BENCH_kernels.json (the fig2a speedup_x key
-# is the scalar-vs-fused ratio the roadmap tracks) and reliability /
-# robustness numbers in BENCH_robustness.json. Run after perf- or
+# is the scalar-vs-fused ratio the roadmap tracks), reliability /
+# robustness numbers in BENCH_robustness.json, and WAN-datapath
+# throughput in BENCH_fabric.json. Run after perf- or
 # reliability-relevant changes.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JSON_OUT="${1:-BENCH_kernels.json}"
 ROBUSTNESS_OUT="${2:-BENCH_robustness.json}"
+FABRIC_OUT="${3:-BENCH_fabric.json}"
 
 cmake --preset release
 cmake --build --preset release -j"$(nproc)" --target \
   bench_fig2a_dot_product bench_table1_ml_inference \
-  bench_fig4_transponder_path bench_ext_robustness
+  bench_fig4_transponder_path bench_ext_robustness bench_ext_fabric
 
 ./build-release/bench/bench_fig2a_dot_product --json "$JSON_OUT"
 ./build-release/bench/bench_table1_ml_inference --json "$JSON_OUT"
 ./build-release/bench/bench_fig4_transponder_path --json "$JSON_OUT"
 ./build-release/bench/bench_ext_robustness --json "$ROBUSTNESS_OUT"
+./build-release/bench/bench_ext_fabric --json "$FABRIC_OUT"
 
 echo
 echo "== $JSON_OUT =="
@@ -26,3 +29,6 @@ cat "$JSON_OUT"
 echo
 echo "== $ROBUSTNESS_OUT =="
 cat "$ROBUSTNESS_OUT"
+echo
+echo "== $FABRIC_OUT =="
+cat "$FABRIC_OUT"

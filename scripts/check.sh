@@ -9,4 +9,10 @@ cd "$(dirname "$0")/.."
 
 cmake --preset asan
 cmake --build --preset asan -j"$(nproc)"
+
+# Datapath gate first: the golden-trace determinism and per-reason drop
+# tests guard the zero-allocation event engine's bit-reproducibility —
+# fail fast (with full output) before the broad sweep.
+ctest --preset asan --no-tests=error -R 'DatapathDeterminism|DatapathDropStats|EventSim|PayloadPool'
+
 ctest --preset asan -j"$(nproc)"

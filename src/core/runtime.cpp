@@ -56,6 +56,7 @@ void onfiber_runtime::on_delivery(const net::packet& pkt, net::node_id at,
   // and a lost ack simply lets the retransmit timer fire (the duplicate
   // delivery re-acks).
   net::packet ack;
+  ack.payload = fabric_.pool().acquire();  // recycled allocation if any
   ack.src = fabric_.topo().node_at(at).address;
   ack.dst = task.reply_to;
   proto::compute_header ah;
@@ -341,11 +342,12 @@ net::hook_decision onfiber_runtime::on_packet(net::node_id at,
       s.busy_until_s = done;
       s.total_busy_s += service;
       // Hold the packet until the analog evaluation finishes, then let it
-      // continue toward its destination (it now carries the result).
-      net::packet held = pkt;
-      sim_.schedule_at(done, [this, held = std::move(held), at]() mutable {
-        fabric_.send(std::move(held), at);
-      });
+      // continue toward its destination (it now carries the result). The
+      // consume decision lets us steal the packet; op_inject re-enters it
+      // through fabric::send at `done`, exactly like the seed closure did,
+      // but as a typed event — no per-packet closure or payload copy.
+      sim_.schedule_packet_at(done, std::move(pkt), at,
+                              net::wan_fabric::op_inject, &fabric_);
       return net::hook_decision{net::hook_decision::action_type::consume,
                                 net::invalid_node};
     }

@@ -3,6 +3,15 @@
 // Single-threaded, strictly ordered by (time, sequence-number) so runs are
 // bit-reproducible. Everything in the WAN model — link propagation,
 // transponder processing, controller reconfiguration — is an event.
+//
+// Two event representations share one (time, seq) order:
+//   * typed packet-hop events carry a net::packet inline in a pool-backed,
+//     free-listed record and dispatch through a packet_event_sink — the
+//     datapath hot loop, zero heap allocations per hop at steady state;
+//   * std::function callbacks for everything else (timers, flaps,
+//     reconvergence), unchanged from the seed engine.
+// The priority queue itself holds only 24-byte (time, seq, record-index)
+// entries, so heap sifts never move packet payloads or closures.
 #pragma once
 
 #include <cstdint>
@@ -10,7 +19,21 @@
 #include <queue>
 #include <vector>
 
+#include "network/packet.hpp"
+
 namespace onfiber::net {
+
+/// Receiver of typed packet-hop events. `op` is an opaque discriminator
+/// owned by the sink (the fabric uses it to distinguish arrivals from
+/// re-injections).
+class packet_event_sink {
+ public:
+  virtual void on_packet_event(std::uint8_t op, packet&& pkt,
+                               std::uint32_t node) = 0;
+
+ protected:
+  ~packet_event_sink() = default;
+};
 
 class simulator {
  public:
@@ -26,11 +49,36 @@ class simulator {
 
   /// Schedule `fn` at an absolute time (clamped to now()).
   void schedule_at(double time_s, handler fn) {
-    if (time_s < now_s_) time_s = now_s_;
-    queue_.push(event{time_s, next_seq_++, std::move(fn)});
+    const std::uint32_t idx = acquire_record();
+    event_record& rec = records_[idx];
+    rec.fn = std::move(fn);
+    rec.sink = nullptr;
+    push_entry(time_s, idx);
   }
 
-  /// No-limit sentinel for run().
+  /// Schedule a typed packet-hop event at an absolute time (clamped to
+  /// now()): at `time_s`, `sink->on_packet_event(op, pkt, node)` runs. The
+  /// packet is carried inline in a recycled record — no allocation once
+  /// the pool is warm.
+  void schedule_packet_at(double time_s, packet&& pkt, std::uint32_t node,
+                          std::uint8_t op, packet_event_sink* sink) {
+    const std::uint32_t idx = acquire_record();
+    event_record& rec = records_[idx];
+    rec.pkt = std::move(pkt);
+    rec.sink = sink;
+    rec.node = node;
+    rec.op = op;
+    push_entry(time_s, idx);
+  }
+
+  /// Relative-time variant of schedule_packet_at.
+  void schedule_packet(double delay_s, packet&& pkt, std::uint32_t node,
+                       std::uint8_t op, packet_event_sink* sink) {
+    schedule_packet_at(now_s_ + (delay_s < 0.0 ? 0.0 : delay_s),
+                       std::move(pkt), node, op, sink);
+  }
+
+  /// No-limit sentinel for run()/run_until().
   static constexpr std::uint64_t unlimited_events = ~std::uint64_t{0};
 
   /// Run until the event queue drains, or until `max_events` handlers
@@ -49,16 +97,24 @@ class simulator {
     return executed;
   }
 
-  /// Did the last run() stop at its event cap with work still queued?
+  /// Did the last run()/run_until() stop at its event cap with eligible
+  /// work still queued?
   [[nodiscard]] bool overran() const { return overran_; }
 
-  /// Run until the queue drains or simulated time exceeds `until_s`.
-  std::uint64_t run_until(double until_s) {
+  /// Run until the queue drains, simulated time exceeds `until_s`, or
+  /// `max_events` handlers have executed. Like run(), refreshes
+  /// overran(): a prior capped run() no longer leaves a phantom overrun
+  /// behind once this call drains the eligible work.
+  std::uint64_t run_until(double until_s,
+                          std::uint64_t max_events = unlimited_events) {
     std::uint64_t executed = 0;
-    while (!queue_.empty() && queue_.top().time_s <= until_s) {
+    while (!queue_.empty() && queue_.top().time_s <= until_s &&
+           executed < max_events) {
       step();
       ++executed;
     }
+    overran_ = !queue_.empty() && queue_.top().time_s <= until_s &&
+               executed >= max_events;
     if (now_s_ < until_s) now_s_ = until_s;
     return executed;
   }
@@ -67,31 +123,81 @@ class simulator {
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 
  private:
-  struct event {
+  static constexpr std::uint32_t npos = ~std::uint32_t{0};
+
+  /// Event payloads live out-of-heap in a free-listed slab; the priority
+  /// queue orders lightweight references to them.
+  struct event_record {
+    handler fn;                        // callback events (sink == nullptr)
+    packet pkt;                        // typed packet-hop payload
+    packet_event_sink* sink = nullptr; // non-null marks a typed event
+    std::uint32_t node = 0;
+    std::uint8_t op = 0;
+    std::uint32_t next_free = npos;
+  };
+
+  struct heap_entry {
     double time_s;
     std::uint64_t seq;
-    handler fn;
+    std::uint32_t record;
   };
 
   struct later {
-    bool operator()(const event& a, const event& b) const {
+    bool operator()(const heap_entry& a, const heap_entry& b) const {
       if (a.time_s != b.time_s) return a.time_s > b.time_s;
       return a.seq > b.seq;  // FIFO among simultaneous events
     }
   };
 
+  std::uint32_t acquire_record() {
+    if (free_head_ != npos) {
+      const std::uint32_t idx = free_head_;
+      free_head_ = records_[idx].next_free;
+      records_[idx].next_free = npos;
+      return idx;
+    }
+    records_.emplace_back();
+    return static_cast<std::uint32_t>(records_.size() - 1);
+  }
+
+  void release_record(std::uint32_t idx) {
+    records_[idx].next_free = free_head_;
+    free_head_ = idx;
+  }
+
+  void push_entry(double time_s, std::uint32_t idx) {
+    if (time_s < now_s_) time_s = now_s_;
+    queue_.push(heap_entry{time_s, next_seq_++, idx});
+  }
+
   void step() {
-    // Move the event out before running it: the handler may schedule.
-    event ev = std::move(const_cast<event&>(queue_.top()));
+    const heap_entry top = queue_.top();
     queue_.pop();
-    now_s_ = ev.time_s;
-    ev.fn();
+    now_s_ = top.time_s;
+    event_record& rec = records_[top.record];
+    if (rec.sink != nullptr) {
+      // Move the payload out and release the record before dispatching:
+      // the sink will schedule the next hop, reusing this very slot.
+      packet pkt = std::move(rec.pkt);
+      packet_event_sink* sink = rec.sink;
+      const std::uint32_t node = rec.node;
+      const std::uint8_t op = rec.op;
+      rec.sink = nullptr;
+      release_record(top.record);
+      sink->on_packet_event(op, std::move(pkt), node);
+    } else {
+      handler fn = std::move(rec.fn);
+      release_record(top.record);
+      fn();
+    }
   }
 
   double now_s_ = 0.0;
   std::uint64_t next_seq_ = 0;
   bool overran_ = false;
-  std::priority_queue<event, std::vector<event>, later> queue_;
+  std::vector<event_record> records_;
+  std::uint32_t free_head_ = npos;
+  std::priority_queue<heap_entry, std::vector<heap_entry>, later> queue_;
 };
 
 }  // namespace onfiber::net

@@ -12,21 +12,44 @@ wan_fabric::wan_fabric(simulator& sim, topology topo)
       hooks_(topo_.node_count()),
       link_free_at_(topo_.links().size(), std::array<double, 2>{0.0, 0.0}),
       link_bytes_(topo_.links().size(), 0.0),
-      link_up_(topo_.links().size(), true) {}
+      link_up_(topo_.links().size(), true) {
+  const std::size_t n = topo_.node_count();
+  // Destination resolution trie: attached prefixes are assigned by
+  // topology::add_node as distinct same-length prefixes, so containment
+  // identifies the owning node uniquely and matches LPM.
+  for (const node& nd : topo_.nodes()) {
+    dest_of_.insert(nd.attached_prefix, nd.id);
+  }
+  flat_routes_.assign(n * n, flat_route{});
+  // Egress matrix: first link per (from, to) pair in incident order,
+  // mirroring egress_link()'s scan on the seed path.
+  egress_matrix_.assign(n * n, no_link);
+  for (node_id from = 0; from < n; ++from) {
+    for (const std::size_t li : topo_.incident_links(from)) {
+      const node_id to = topo_.neighbor(from, li);
+      std::uint32_t& slot = egress_matrix_[from * n + to];
+      if (slot == no_link) slot = static_cast<std::uint32_t>(li);
+    }
+  }
+}
 
 void wan_fabric::install_shortest_path_routes() {
   const auto n = static_cast<node_id>(topo_.node_count());
   for (node_id src = 0; src < n; ++src) {
     for (node_id dst = 0; dst < n; ++dst) {
       if (src == dst) continue;
+      flat_route& flat = flat_routes_[src * n + dst];
       const auto path = topo_.shortest_path(src, dst, &link_up_);
       if (path.size() < 2) {
         // Unreachable (possibly due to failures): retract any stale route.
         tables_[src].erase(topo_.node_at(dst).attached_prefix);
+        flat = flat_route{};
         continue;
       }
       tables_[src].insert(topo_.node_at(dst).attached_prefix,
                           route_entry{path[1]});
+      flat.next = path[1];
+      flat.link = egress_matrix_[src * n + path[1]];
     }
   }
 }
@@ -77,8 +100,8 @@ void wan_fabric::schedule_flaps(std::span<const link_flap> flaps,
 
 std::optional<node_id> wan_fabric::next_hop(node_id at, ipv4 dst) const {
   if (at >= tables_.size()) return std::nullopt;
-  const auto entry = tables_[at].lookup(dst);
-  if (!entry) return std::nullopt;
+  const route_entry* entry = tables_[at].lookup_ptr(dst);
+  if (entry == nullptr) return std::nullopt;
   return entry->next;
 }
 
@@ -91,9 +114,16 @@ void wan_fabric::send(packet pkt, node_id ingress) {
   if (ingress >= topo_.node_count()) {
     throw std::out_of_range("wan_fabric: bad ingress node");
   }
-  sim_.schedule(0.0, [this, pkt = std::move(pkt), ingress]() mutable {
-    arrive(std::move(pkt), ingress);
-  });
+  sim_.schedule_packet(0.0, std::move(pkt), ingress, op_arrive, this);
+}
+
+void wan_fabric::on_packet_event(std::uint8_t op, packet&& pkt,
+                                 std::uint32_t node) {
+  if (op == op_arrive) {
+    arrive(std::move(pkt), node);
+  } else {
+    send(std::move(pkt), node);
+  }
 }
 
 void wan_fabric::set_bit_error_rate(double ber, std::uint64_t seed) {
@@ -106,29 +136,51 @@ void wan_fabric::set_bit_error_rate(double ber, std::uint64_t seed) {
 
 void wan_fabric::apply_bit_errors(packet& pkt) {
   if (bit_error_rate_ <= 0.0 || pkt.payload.empty()) return;
-  const double bits = static_cast<double>(pkt.payload.size()) * 8.0;
-  const std::uint64_t flips = error_gen_.poisson(bit_error_rate_ * bits);
+  const std::uint64_t bit_count =
+      static_cast<std::uint64_t>(pkt.payload.size()) * 8;
+  const double bits = static_cast<double>(bit_count);
+  std::uint64_t flips = error_gen_.poisson(bit_error_rate_ * bits);
   if (flips == 0) return;
+  // A high-BER draw can exceed the payload's bit count; flipping more
+  // than every bit once is meaningless, so clamp.
+  if (flips > bit_count) flips = bit_count;
   ++corrupted_;
   for (std::uint64_t i = 0; i < flips; ++i) {
-    const std::uint64_t bit =
-        error_gen_.below(static_cast<std::uint64_t>(bits));
+    const std::uint64_t bit = error_gen_.below(bit_count);
     pkt.payload[bit / 8] ^= static_cast<std::uint8_t>(1U << (bit % 8));
   }
 }
 
 std::size_t wan_fabric::egress_link(node_id from, node_id next) const {
-  for (std::size_t li : topo_.incident_links(from)) {
-    if (topo_.neighbor(from, li) == next) return li;
+  const std::size_t n = topo_.node_count();
+  if (from < n && next < n) {
+    const std::uint32_t li = egress_matrix_[from * n + next];
+    if (li != no_link) return li;
   }
   throw std::invalid_argument("wan_fabric: no link toward next hop");
 }
 
+node_id wan_fabric::resolve_dest(packet& pkt) const {
+  const std::uint32_t hint = pkt.dest_hint;
+  if (hint < topo_.node_count() &&
+      topo_.node_at(hint).attached_prefix.contains(pkt.dst)) {
+    return hint;
+  }
+  const node_id* d = dest_of_.lookup_ptr(pkt.dst);
+  pkt.dest_hint = d != nullptr ? *d : invalid_node;
+  return pkt.dest_hint;
+}
+
 void wan_fabric::forward_to(packet pkt, node_id from, node_id next) {
-  const std::size_t li = egress_link(from, next);
+  forward_on(std::move(pkt), from, next, egress_link(from, next));
+}
+
+void wan_fabric::forward_on(packet pkt, node_id from, node_id next,
+                            std::size_t li) {
   if (!link_up_[li]) {
     // Black-holed until routing reconverges.
-    ++dropped_;
+    ++drops_.link_down;
+    pool_.recycle(std::move(pkt));
     return;
   }
   const link& l = topo_.links()[li];
@@ -147,9 +199,7 @@ void wan_fabric::forward_to(packet pkt, node_id from, node_id next) {
 
   const double arrival = done + l.delay_s();
   apply_bit_errors(pkt);
-  sim_.schedule_at(arrival, [this, pkt = std::move(pkt), next]() mutable {
-    arrive(std::move(pkt), next);
-  });
+  sim_.schedule_packet_at(arrival, std::move(pkt), next, op_arrive, this);
 }
 
 void wan_fabric::arrive(packet pkt, node_id at) {
@@ -158,18 +208,22 @@ void wan_fabric::arrive(packet pkt, node_id at) {
     const hook_decision d = hooks_[at](at, pkt, sim_.now());
     switch (d.action) {
       case hook_decision::action_type::consume:
+        pool_.recycle(std::move(pkt));
         return;
       case hook_decision::action_type::drop:
-        ++dropped_;
+        ++drops_.hook_drop;
+        pool_.recycle(std::move(pkt));
         return;
       case hook_decision::action_type::redirect:
         if (d.redirect_to == invalid_node ||
             d.redirect_to >= topo_.node_count()) {
-          ++dropped_;
+          ++drops_.bad_redirect;
+          pool_.recycle(std::move(pkt));
           return;
         }
         if (pkt.ttl == 0) {
-          ++dropped_;
+          ++drops_.ttl_expired;
+          pool_.recycle(std::move(pkt));
           return;
         }
         --pkt.ttl;
@@ -184,13 +238,36 @@ void wan_fabric::arrive(packet pkt, node_id at) {
   if (topo_.node_at(at).attached_prefix.contains(pkt.dst)) {
     ++delivered_;
     if (on_deliver_) on_deliver_(pkt, at, sim_.now());
+    pool_.recycle(std::move(pkt));
     return;
   }
 
-  // LPM forwarding.
-  const auto entry = tables_[at].lookup(pkt.dst);
-  if (!entry || pkt.ttl == 0) {
-    ++dropped_;
+  // Forwarding: flat post-convergence cache first, LPM trie as the
+  // authoritative fallback (stale hints, retracted routes).
+  const std::size_t n = topo_.node_count();
+  const node_id dest = resolve_dest(pkt);
+  if (dest != invalid_node) {
+    const flat_route flat = flat_routes_[at * n + dest];
+    if (flat.next != invalid_node) {
+      if (pkt.ttl == 0) {
+        ++drops_.ttl_expired;
+        pool_.recycle(std::move(pkt));
+        return;
+      }
+      --pkt.ttl;
+      forward_on(std::move(pkt), at, flat.next, flat.link);
+      return;
+    }
+  }
+  const route_entry* entry = tables_[at].lookup_ptr(pkt.dst);
+  if (entry == nullptr) {
+    ++drops_.no_route;
+    pool_.recycle(std::move(pkt));
+    return;
+  }
+  if (pkt.ttl == 0) {
+    ++drops_.ttl_expired;
+    pool_.recycle(std::move(pkt));
     return;
   }
   --pkt.ttl;

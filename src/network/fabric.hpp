@@ -8,8 +8,15 @@
 // override forwarding — that hook is exactly where photonic compute
 // transponders attach, mirroring Fig. 4's "transponder plugged into the
 // router" placement.
+//
+// The hot loop is allocation-free at steady state: hops ride typed
+// packet events (event_sim.hpp), payload buffers recycle through a
+// payload_pool, and converged routes are served from flat per-node
+// next-hop caches (the LPM trie stays the source of truth and the slow
+// path for anything the caches cannot prove fresh).
 #pragma once
 
+#include <array>
 #include <functional>
 #include <optional>
 #include <span>
@@ -35,19 +42,35 @@ struct hook_decision {
   node_id redirect_to = invalid_node;
 };
 
-class wan_fabric {
+/// Per-reason drop counters; dropped() is their sum.
+struct drop_stats {
+  std::uint64_t ttl_expired = 0;   ///< TTL hit zero before delivery
+  std::uint64_t link_down = 0;     ///< black-holed into a failed link
+  std::uint64_t no_route = 0;      ///< no LPM entry for the destination
+  std::uint64_t hook_drop = 0;     ///< a node hook said drop
+  std::uint64_t bad_redirect = 0;  ///< hook redirect to an invalid node
+
+  [[nodiscard]] std::uint64_t total() const {
+    return ttl_expired + link_down + no_route + hook_drop + bad_redirect;
+  }
+};
+
+class wan_fabric final : public packet_event_sink {
  public:
   /// Called when a packet reaches the node owning its destination prefix.
   using deliver_fn = std::function<void(const packet&, node_id, double)>;
   /// Per-node intercept, called on every packet transiting the node
-  /// (including at the destination, before delivery).
+  /// (including at the destination, before delivery). On `consume` the
+  /// hook may steal the packet's payload (std::move) — the fabric is done
+  /// with it.
   using hook_fn = std::function<hook_decision(node_id, packet&, double)>;
 
   wan_fabric(simulator& sim, topology topo);
 
   /// Install shortest-path (by delay) routes for every node pair,
   /// avoiding failed links. Call again after fail_link/restore_link to
-  /// reconverge.
+  /// reconverge. Also rebuilds the flat next-hop caches the datapath
+  /// serves converged routes from.
   void install_shortest_path_routes();
 
   /// Take a link out of service: packets queued onto it are lost, routes
@@ -105,15 +128,29 @@ class wan_fabric {
   [[nodiscard]] const topology& topo() const { return topo_; }
   [[nodiscard]] simulator& sim() { return sim_; }
 
+  /// Recycled payload buffers: senders can acquire() here so steady-state
+  /// traffic reuses the allocations of delivered/dropped packets.
+  [[nodiscard]] payload_pool& pool() { return pool_; }
+
   /// Current routing-table next hop at `at` toward `dst` (nullopt when
   /// the table has no route). Lets higher layers — the reliability
   /// layer's failover steering — follow the same converged routes the
   /// data plane uses instead of a stale private copy.
   [[nodiscard]] std::optional<node_id> next_hop(node_id at, ipv4 dst) const;
 
+  /// Typed packet-hop dispatch (packet_event_sink). Not for direct use;
+  /// public only because the runtime schedules held packets back through
+  /// the simulator with `op_inject`.
+  static constexpr std::uint8_t op_arrive = 0;  ///< hop lands at `node`
+  static constexpr std::uint8_t op_inject = 1;  ///< send(pkt, node) now
+  void on_packet_event(std::uint8_t op, packet&& pkt,
+                       std::uint32_t node) override;
+
   // ------------------------------------------------------------- stats
   [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
-  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t dropped() const { return drops_.total(); }
+  /// Per-reason drop breakdown.
+  [[nodiscard]] const drop_stats& drops() const { return drops_; }
   /// Bytes carried per link index (both directions), for load metrics.
   [[nodiscard]] const std::vector<double>& link_bytes() const {
     return link_bytes_;
@@ -124,17 +161,45 @@ class wan_fabric {
     node_id next = invalid_node;
   };
 
+  static constexpr std::uint32_t no_link = ~std::uint32_t{0};
+
+  /// Flat post-convergence route: next hop + precomputed egress link for
+  /// one (node, destination-node) pair. `next == invalid_node` means the
+  /// trie must decide (unreachable, or a route the cache can't mirror).
+  struct flat_route {
+    node_id next = invalid_node;
+    std::uint32_t link = no_link;
+  };
+
   void arrive(packet pkt, node_id at);
   void forward_to(packet pkt, node_id from, node_id next);
+  void forward_on(packet pkt, node_id from, node_id next, std::size_t li);
 
   /// Egress link index from `from` toward adjacent `next`.
   [[nodiscard]] std::size_t egress_link(node_id from, node_id next) const;
+
+  /// Destination node for `pkt.dst`, maintaining pkt.dest_hint: the hint
+  /// is revalidated against the node's attached prefix and re-resolved
+  /// through the destination trie when stale. invalid_node when no
+  /// attached prefix covers dst.
+  [[nodiscard]] node_id resolve_dest(packet& pkt) const;
 
   simulator& sim_;
   topology topo_;
   std::vector<routing_table<route_entry>> tables_;  // one per node
   std::vector<hook_fn> hooks_;                      // one per node (may be null)
   deliver_fn on_deliver_;
+
+  /// attached_prefix -> owning node, for dest_hint resolution (built
+  /// once; topology is immutable).
+  routing_table<node_id> dest_of_;
+  /// flat_routes_[at * n + dest_node]; rebuilt on every reconvergence.
+  std::vector<flat_route> flat_routes_;
+  /// egress_matrix_[from * n + to]: first link index joining the pair in
+  /// incident order, or no_link (mirrors egress_link()'s scan).
+  std::vector<std::uint32_t> egress_matrix_;
+
+  payload_pool pool_;
 
   /// Maybe corrupt a packet in flight (failure injection).
   void apply_bit_errors(packet& pkt);
@@ -150,7 +215,7 @@ class wan_fabric {
   std::vector<bool> link_up_;
 
   std::uint64_t delivered_ = 0;
-  std::uint64_t dropped_ = 0;
+  drop_stats drops_;
   std::uint64_t reconvergences_ = 0;
 };
 

@@ -35,10 +35,49 @@ struct packet {
   double created_s = 0.0;         ///< creation timestamp
   std::uint32_t flow_hash = 0;    ///< 5-tuple-style hash for ECMP/LB
 
+  /// Destination-node cache maintained by the fabric (never trusted
+  /// blindly: revalidated against the node's attached prefix on every
+  /// use, so a hook that rewrites dst just falls back to the slow path).
+  std::uint32_t dest_hint = ~std::uint32_t{0};
+
   /// Serialized size on the wire [bytes]: 20-byte IP header + payload.
   [[nodiscard]] std::size_t wire_bytes() const {
     return 20 + payload.size();
   }
+};
+
+/// Free list of payload buffers. Packets that die inside the fabric
+/// (delivered or dropped) donate their payload allocation back here, and
+/// new packets can start from a recycled buffer instead of a cold
+/// std::vector — at steady state the forwarding loop allocates nothing.
+/// Value semantics are untouched: a recycled buffer is always cleared
+/// before reuse.
+class payload_pool {
+ public:
+  /// An empty buffer, reusing a pooled allocation when one is available.
+  [[nodiscard]] std::vector<std::uint8_t> acquire() {
+    if (free_.empty()) return {};
+    std::vector<std::uint8_t> buf = std::move(free_.back());
+    free_.pop_back();
+    buf.clear();
+    return buf;
+  }
+
+  /// Donate a buffer's allocation. Empty-capacity buffers (moved-from
+  /// payloads) are ignored; the pool is capped so pathological traffic
+  /// cannot hoard memory.
+  void recycle(std::vector<std::uint8_t>&& buf) {
+    if (buf.capacity() == 0 || free_.size() >= max_buffers_) return;
+    free_.push_back(std::move(buf));
+  }
+  void recycle(packet&& pkt) { recycle(std::move(pkt.payload)); }
+
+  [[nodiscard]] std::size_t size() const { return free_.size(); }
+  void set_max_buffers(std::size_t n) { max_buffers_ = n; }
+
+ private:
+  std::size_t max_buffers_ = 4096;
+  std::vector<std::vector<std::uint8_t>> free_;
 };
 
 /// FNV-1a over the fields that define a flow; used for ECMP hashing.

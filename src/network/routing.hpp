@@ -51,13 +51,22 @@ class routing_table {
 
   /// Longest-prefix-match lookup.
   [[nodiscard]] std::optional<Value> lookup(ipv4 addr) const {
-    std::optional<Value> best;
+    const Value* best = lookup_ptr(addr);
+    if (best == nullptr) return std::nullopt;
+    return *best;
+  }
+
+  /// Non-copying LPM lookup: a pointer into the trie (invalidated by
+  /// insert/erase), or nullptr when no prefix matches. The datapath hot
+  /// loop uses this to avoid materializing an optional per packet-hop.
+  [[nodiscard]] const Value* lookup_ptr(ipv4 addr) const {
+    const Value* best = nullptr;
     const trie_node* cur = &root_;
-    if (cur->value) best = cur->value;
+    if (cur->value) best = &*cur->value;
     for (int depth = 0; depth < 32 && cur != nullptr; ++depth) {
       const int bit = (addr.value >> (31 - depth)) & 1;
       cur = cur->children[bit].get();
-      if (cur != nullptr && cur->value) best = cur->value;
+      if (cur != nullptr && cur->value) best = &*cur->value;
     }
     return best;
   }

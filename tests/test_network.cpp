@@ -168,6 +168,127 @@ TEST(EventSim, NegativeDelayClamped) {
   EXPECT_DOUBLE_EQ(sim.now(), 1.0);
 }
 
+TEST(EventSim, RunUntilClearsStaleOverrun) {
+  // Regression: a capped run() used to leave overran_ set forever; a
+  // subsequent run_until() that drained the queue still reported a
+  // phantom overrun.
+  simulator sim;
+  for (int i = 0; i < 4; ++i) sim.schedule(1.0 * i, [] {});
+  sim.run(2);
+  EXPECT_TRUE(sim.overran());
+  sim.run_until(10.0);
+  EXPECT_TRUE(sim.empty());
+  EXPECT_FALSE(sim.overran());
+}
+
+TEST(EventSim, RunUntilHonorsEventCap) {
+  simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 6; ++i) sim.schedule(0.1 * i, [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(5.0, 3), 3u);
+  EXPECT_TRUE(sim.overran());
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.run_until(5.0), 3u);
+  EXPECT_FALSE(sim.overran());
+  EXPECT_EQ(fired, 6);
+}
+
+TEST(EventSim, RunUntilNoOverrunWhenRemainingWorkIsLater) {
+  // Events beyond the time boundary don't count as overrun work.
+  simulator sim;
+  sim.schedule(1.0, [] {});
+  sim.schedule(9.0, [] {});
+  sim.run_until(2.0, 1);
+  EXPECT_FALSE(sim.overran());
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+namespace {
+/// Records typed packet-event dispatches for the EventSim tests.
+struct recording_sink final : packet_event_sink {
+  std::vector<std::pair<std::uint8_t, std::uint32_t>> seen;
+  std::vector<std::uint64_t> ids;
+  void on_packet_event(std::uint8_t op, packet&& pkt,
+                       std::uint32_t node) override {
+    seen.emplace_back(op, node);
+    ids.push_back(pkt.id);
+  }
+};
+}  // namespace
+
+TEST(EventSim, TypedAndCallbackEventsShareOneOrder) {
+  simulator sim;
+  recording_sink sink;
+  std::vector<int> order;
+  packet a;
+  a.id = 1;
+  sim.schedule(1.0, [&] { order.push_back(10); });
+  sim.schedule_packet(1.0, std::move(a), 7, 2, &sink);
+  sim.schedule(1.0, [&] { order.push_back(11); });
+  packet b;
+  b.id = 2;
+  sim.schedule_packet_at(0.5, std::move(b), 3, 9, &sink);
+  sim.run();
+  // t=0.5: packet b; t=1.0 FIFO: callback 10, packet a, callback 11.
+  ASSERT_EQ(sink.seen.size(), 2u);
+  EXPECT_EQ(sink.seen[0], (std::pair<std::uint8_t, std::uint32_t>{9, 3u}));
+  EXPECT_EQ(sink.seen[1], (std::pair<std::uint8_t, std::uint32_t>{2, 7u}));
+  EXPECT_EQ(sink.ids, (std::vector<std::uint64_t>{2, 1}));
+  EXPECT_EQ(order, (std::vector<int>{10, 11}));
+}
+
+TEST(EventSim, RecordSlotsAreRecycled) {
+  // A ping-pong of typed events must not grow the record slab: the slot
+  // released at dispatch is reused for the hop scheduled from inside it.
+  simulator sim;
+  struct chain_sink final : packet_event_sink {
+    simulator* sim = nullptr;
+    int hops = 0;
+    void on_packet_event(std::uint8_t op, packet&& pkt,
+                         std::uint32_t node) override {
+      if (++hops < 1000) {
+        sim->schedule_packet(1e-6, std::move(pkt), node + 1, op, this);
+      }
+    }
+  } sink;
+  sink.sim = &sim;
+  packet pkt;
+  pkt.payload.assign(64, 0x5a);
+  sim.schedule_packet(0.0, std::move(pkt), 0, 0, &sink);
+  sim.run();
+  EXPECT_EQ(sink.hops, 1000);
+}
+
+// ------------------------------------------------------------ payload pool
+
+TEST(PayloadPool, RecyclesAllocations) {
+  payload_pool pool;
+  std::vector<std::uint8_t> buf;
+  buf.assign(512, 0xab);
+  const std::uint8_t* data = buf.data();
+  pool.recycle(std::move(buf));
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<std::uint8_t> reused = pool.acquire();
+  EXPECT_TRUE(reused.empty());           // cleared before reuse
+  EXPECT_GE(reused.capacity(), 512u);    // same allocation
+  EXPECT_EQ(reused.data(), data);
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_TRUE(pool.acquire().empty());   // empty pool: fresh buffer
+}
+
+TEST(PayloadPool, IgnoresEmptyAndRespectsCap) {
+  payload_pool pool;
+  pool.set_max_buffers(2);
+  pool.recycle(std::vector<std::uint8_t>{});  // capacity 0: ignored
+  EXPECT_EQ(pool.size(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    std::vector<std::uint8_t> buf;
+    buf.assign(16, 0);
+    pool.recycle(std::move(buf));
+  }
+  EXPECT_EQ(pool.size(), 2u);
+}
+
 // ---------------------------------------------------------------- topology
 
 TEST(Topology, Figure1Shape) {
@@ -354,6 +475,145 @@ TEST(Fabric, LinkBytesAccounted) {
   sim.run();
   EXPECT_DOUBLE_EQ(fabric.link_bytes()[0], 100.0);  // 20B header + 80B
   EXPECT_DOUBLE_EQ(fabric.link_bytes()[1], 100.0);
+}
+
+TEST(Fabric, DropStatsPerReason) {
+  simulator sim;
+  wan_fabric fabric(sim, make_linear_topology(5, 10.0));
+  fabric.install_shortest_path_routes();
+  const auto send_to_end = [&](std::uint8_t ttl) {
+    packet pkt;
+    pkt.src = fabric.topo().node_at(0).address;
+    pkt.dst = fabric.topo().node_at(4).address;
+    pkt.ttl = ttl;
+    fabric.send(pkt, 0);
+    sim.run();
+  };
+
+  send_to_end(2);  // needs 4 hops
+  EXPECT_EQ(fabric.drops().ttl_expired, 1u);
+
+  packet stray;
+  stray.dst = ipv4(192, 168, 0, 1);  // no attached prefix anywhere
+  fabric.send(stray, 0);
+  sim.run();
+  EXPECT_EQ(fabric.drops().no_route, 1u);
+
+  fabric.set_hook(1, [&](node_id, packet&, double) {
+    return hook_decision{hook_decision::action_type::drop, invalid_node};
+  });
+  send_to_end(64);
+  EXPECT_EQ(fabric.drops().hook_drop, 1u);
+
+  fabric.set_hook(1, [&](node_id, packet&, double) {
+    return hook_decision{hook_decision::action_type::redirect, invalid_node};
+  });
+  send_to_end(64);
+  EXPECT_EQ(fabric.drops().bad_redirect, 1u);
+
+  fabric.set_hook(1, wan_fabric::hook_fn{});  // clear the hook
+  fabric.fail_link(1);  // routes still point at it: black hole
+  send_to_end(64);
+  EXPECT_EQ(fabric.drops().link_down, 1u);
+
+  EXPECT_EQ(fabric.drops().total(), 5u);
+  EXPECT_EQ(fabric.dropped(), 5u);  // aggregate stays the sum
+  EXPECT_EQ(fabric.delivered(), 0u);
+}
+
+TEST(Fabric, HighBerFlipCountClampedToPayloadBits) {
+  // Seed 2's first poisson(0.9 * 8) draw is 12 — more flips than a
+  // 1-byte payload has bits. The clamp caps it at 8; the packet still
+  // traverses and the corruption counter advances exactly once.
+  simulator sim;
+  wan_fabric fabric(sim, make_linear_topology(2, 10.0));
+  fabric.install_shortest_path_routes();
+  fabric.set_bit_error_rate(0.9, 2);
+  std::vector<std::uint8_t> delivered_payload;
+  fabric.set_deliver_callback([&](const packet& pkt, node_id, double) {
+    delivered_payload = pkt.payload;
+  });
+  packet pkt;
+  pkt.dst = fabric.topo().node_at(1).address;
+  pkt.payload.assign(1, 0x00);
+  fabric.send(pkt, 0);
+  sim.run();
+  EXPECT_EQ(fabric.corrupted(), 1u);
+  ASSERT_EQ(delivered_payload.size(), 1u);
+  // Replay the generator: the fabric must apply the clamped flip count.
+  phot::rng replay{2};
+  std::uint64_t flips = replay.poisson(0.9 * 8.0);
+  ASSERT_GT(flips, 8u);
+  flips = 8;
+  std::uint8_t expect = 0x00;
+  for (std::uint64_t i = 0; i < flips; ++i) {
+    expect ^= static_cast<std::uint8_t>(1U << (replay.below(8) % 8));
+  }
+  EXPECT_EQ(delivered_payload[0], expect);
+}
+
+TEST(Fabric, DestHintRevalidatedWhenHookRewritesDst) {
+  // A hook rewriting dst mid-path invalidates the flat-cache hint; the
+  // packet must fall back to the trie and deliver at the new target.
+  simulator sim;
+  wan_fabric fabric(sim, make_linear_topology(4, 10.0));
+  fabric.install_shortest_path_routes();
+  fabric.set_hook(1, [&](node_id, packet& pkt, double) {
+    pkt.dst = fabric.topo().node_at(2).address;  // was node 3
+    return hook_decision{};
+  });
+  node_id delivered_at = invalid_node;
+  fabric.set_deliver_callback(
+      [&](const packet&, node_id at, double) { delivered_at = at; });
+  packet pkt;
+  pkt.dst = fabric.topo().node_at(3).address;
+  fabric.send(pkt, 0);
+  sim.run();
+  EXPECT_EQ(delivered_at, 2u);
+  EXPECT_EQ(fabric.delivered(), 1u);
+  EXPECT_EQ(fabric.dropped(), 0u);
+}
+
+TEST(Fabric, FlatCacheFollowsReconvergence) {
+  // Triangle: after the direct link fails AND routes reconverge, the
+  // flat caches must steer around it (no stale fast-path entries).
+  simulator sim;
+  topology topo;
+  const node_id n0 = topo.add_node("a");
+  const node_id n1 = topo.add_node("b");
+  const node_id n2 = topo.add_node("c");
+  topo.add_link(n0, n2, 10.0);  // direct, preferred
+  topo.add_link(n0, n1, 10.0);
+  topo.add_link(n1, n2, 10.0);
+  wan_fabric fabric(sim, topo);
+  fabric.install_shortest_path_routes();
+  EXPECT_EQ(fabric.next_hop(n0, topo.node_at(n2).address).value(), n2);
+  fabric.fail_link(0);
+  fabric.install_shortest_path_routes();
+  EXPECT_EQ(fabric.next_hop(n0, topo.node_at(n2).address).value(), n1);
+  packet pkt;
+  pkt.dst = fabric.topo().node_at(n2).address;
+  fabric.send(pkt, n0);
+  sim.run();
+  EXPECT_EQ(fabric.delivered(), 1u);
+  EXPECT_EQ(fabric.dropped(), 0u);
+}
+
+TEST(Fabric, DeliveredPayloadBuffersReturnToPool) {
+  simulator sim;
+  wan_fabric fabric(sim, make_linear_topology(3, 10.0));
+  fabric.install_shortest_path_routes();
+  for (int i = 0; i < 4; ++i) {
+    packet pkt;
+    pkt.dst = fabric.topo().node_at(2).address;
+    pkt.payload = fabric.pool().acquire();
+    pkt.payload.assign(128, static_cast<std::uint8_t>(i));
+    fabric.send(std::move(pkt), 0);
+    sim.run();
+  }
+  EXPECT_EQ(fabric.delivered(), 4u);
+  // After the first delivery every send reuses the recycled buffer.
+  EXPECT_EQ(fabric.pool().size(), 1u);
 }
 
 // ----------------------------------------------------------------- traffic
