@@ -23,6 +23,16 @@ cmake --build --preset release -j"$(nproc)" --target \
 ./build-release/bench/bench_ext_robustness --json "$ROBUSTNESS_OUT"
 ./build-release/bench/bench_ext_fabric --json "$FABRIC_OUT"
 
+# The batched-datapath keys must be present: their absence means a bench
+# binary silently skipped the batched measurement (stale build or a
+# regression in the GEMM path), which would otherwise go unnoticed.
+for key in fig2a.batch_ns_per_mac table1.batch_inferences_per_s; do
+  if ! grep -q "\"$key\"" "$JSON_OUT"; then
+    echo "bench_baseline: missing key $key in $JSON_OUT" >&2
+    exit 1
+  fi
+done
+
 echo
 echo "== $JSON_OUT =="
 cat "$JSON_OUT"

@@ -16,3 +16,12 @@ cmake --build --preset asan -j"$(nproc)"
 ctest --preset asan --no-tests=error -R 'DatapathDeterminism|DatapathDropStats|EventSim|PayloadPool'
 
 ctest --preset asan -j"$(nproc)"
+
+# Thread-sanitizer pass over the worker-pool surface: the persistent
+# pool, batched GEMM/engine paths, and the two-pass kernels run under
+# -fsanitize=thread to catch data races the deterministic fold could
+# mask. Scoped to the concurrency-relevant suites to keep it fast.
+cmake --preset tsan
+cmake --build --preset tsan -j"$(nproc)"
+ctest --preset tsan --no-tests=error \
+  -R 'PoolDeterminism|TwoPassKernels|BatchedEngine|Batching|Parallel'

@@ -34,6 +34,17 @@ struct photonic_eval {
                                               const digital::dnn_model& model,
                                               const digital::dataset& data);
 
+/// Same evaluation through the batched datapath: samples are wrapped in
+/// per-sample packets and handed to photonic_engine::process_batch in
+/// chunks of `batch_size`, so each chunk's layers run as pooled GEMMs
+/// (weight rails split once per row per chunk). Accuracy is statistically
+/// equivalent to evaluate_photonic — noise draws differ because the
+/// batched engine runs layer-major — and throughput is what
+/// bench_table1_ml_inference reports as table1.batch_inferences_per_s.
+[[nodiscard]] photonic_eval evaluate_photonic_batched(
+    core::photonic_engine& engine, const digital::dnn_model& model,
+    const digital::dataset& data, std::size_t batch_size = 64);
+
 /// Deployment latency model for one inference request of `input_bytes`
 /// issued at `src` for a consumer at `dst` (§4's three compute locations).
 struct deployment_latency {

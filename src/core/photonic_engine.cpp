@@ -118,26 +118,47 @@ phot::gemv_result photonic_engine::analog_gemv(const phot::matrix& w,
                                                std::span<const double> x,
                                                bool input_is_optical,
                                                engine_report& report) {
+  phot::gemm_result g = analog_gemm(w, x, input_is_optical, report);
+  phot::gemv_result out;
+  out.values = std::move(g.values);
+  out.latency_s = g.latency_s;
+  out.symbols = g.symbols;
+  return out;
+}
+
+phot::gemm_result photonic_engine::analog_gemm(const phot::matrix& w,
+                                               std::span<const double> xs,
+                                               bool input_is_optical,
+                                               engine_report& report) {
   const std::size_t rows = w.rows;
+  const std::size_t cols = w.cols;
+  const std::size_t batch = xs.size() / cols;  // callers validate the shape
 
   // Determinism contract (photonics/kernels.hpp): every row's noise
-  // stream is forked here, in row order, before any worker starts.
+  // stream is forked here, in row order, before any worker starts. One
+  // fork per row regardless of batch size, so a batch of one consumes the
+  // seed stream exactly like the historical per-vector path.
   std::vector<std::uint64_t> seeds(rows);
   for (std::uint64_t& s : seeds) s = row_seed_stream_();
 
-  std::vector<phot::dot_result> row_results(rows);
+  std::vector<phot::dot_result> cells(rows * batch);
   std::vector<phot::energy_ledger> row_ledgers(ledger_ != nullptr ? rows : 0);
   const std::size_t threads = phot::kernel_thread_count(threads_override_);
 
   if (input_is_optical) {
-    // On-fiber path: the input rails exist as optical waveforms (encoded
-    // upstream; reconstruction here is ledger-free). Each row consumes
-    // optical copies of the rails — wavelength/splitter fan-out in
-    // hardware.
+    // On-fiber path: each sample's rails exist as optical waveforms
+    // (encoded upstream; reconstruction here is ledger-free), produced in
+    // sample order on the continuing upstream-encoder streams. Each row
+    // consumes optical copies of the rails — wavelength/splitter fan-out
+    // in hardware.
+    std::vector<phot::waveform> wave_p(batch);
+    std::vector<phot::waveform> wave_n(batch);
     std::vector<double> xp, xn;
-    split_rails(x, xp, xn);
-    const phot::waveform wave_p = upstream_encoder_.encode_to_optical(xp);
-    const phot::waveform wave_n = upstream_encoder_.encode_to_optical(xn);
+    for (std::size_t s = 0; s < batch; ++s) {
+      split_rails(xs.subspan(s * cols, cols), xp, xn);
+      wave_p[s] = upstream_encoder_.encode_to_optical(xp);
+      wave_n[s] = upstream_encoder_.encode_to_optical(xn);
+    }
     const double ref_mw =
         config_.dot.laser.power_mw *
         phot::db_to_ratio(-config_.dot.modulator.insertion_loss_db);
@@ -148,42 +169,67 @@ phot::gemv_result photonic_engine::analog_gemv(const phot::matrix& w,
           ledger_ != nullptr ? &row_ledgers[r] : nullptr, costs_);
       std::vector<double> wp, wn;
       split_rails(w.row(r), wp, wn);
-      const auto pp = unit.dot_with_optical_input(wave_p, wp, ref_mw);
-      const auto nn = unit.dot_with_optical_input(wave_n, wn, ref_mw);
-      const auto pn = unit.dot_with_optical_input(wave_p, wn, ref_mw);
-      const auto np = unit.dot_with_optical_input(wave_n, wp, ref_mw);
-      phot::dot_result d;
-      d.value = pp.value + nn.value - pn.value - np.value;
-      d.latency_s =
-          pp.latency_s + nn.latency_s + pn.latency_s + np.latency_s;
-      d.symbols = pp.symbols + nn.symbols + pn.symbols + np.symbols;
-      row_results[r] = d;
+      for (std::size_t s = 0; s < batch; ++s) {
+        const auto pp = unit.dot_with_optical_input(wave_p[s], wp, ref_mw);
+        const auto nn = unit.dot_with_optical_input(wave_n[s], wn, ref_mw);
+        const auto pn = unit.dot_with_optical_input(wave_p[s], wn, ref_mw);
+        const auto np = unit.dot_with_optical_input(wave_n[s], wp, ref_mw);
+        phot::dot_result d;
+        d.value = pp.value + nn.value - pn.value - np.value;
+        d.latency_s =
+            pp.latency_s + nn.latency_s + pn.latency_s + np.latency_s;
+        d.symbols = pp.symbols + nn.symbols + pn.symbols + np.symbols;
+        cells[r * batch + s] = d;
+      }
     });
   } else {
-    // OEO path: the input was digitized by the receive ADC (n conversions)
-    // and is re-encoded through the a-side DAC inside every pass.
-    report.input_conversions += x.size();
+    // OEO path: every sample was digitized by the receive ADC (cols
+    // conversions each) and is re-encoded through the a-side DAC inside
+    // every pass.
+    report.input_conversions += xs.size();
     if (ledger_ != nullptr) {
       ledger_->charge("adc", costs_.adc_conversion_j *
-                                 static_cast<double>(x.size()),
-                      x.size());
+                                 static_cast<double>(xs.size()),
+                      xs.size());
+    }
+    // Split every sample's rails once up front; rows share them read-only.
+    std::vector<double> xs_pos(xs.size());
+    std::vector<double> xs_neg(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      xs_pos[i] = xs[i] > 0.0 ? xs[i] : 0.0;
+      xs_neg[i] = xs[i] < 0.0 ? -xs[i] : 0.0;
     }
     phot::parallel_rows(rows, threads, [&](std::size_t r) {
       phot::dot_product_unit unit(
           config_.dot, seeds[r],
           ledger_ != nullptr ? &row_ledgers[r] : nullptr, costs_);
-      row_results[r] = unit.dot_signed(w.row(r), x);
+      // The row's weight rails are split once; every queued sample then
+      // streams through them (dot_signed == split + dot_signed_rails, so
+      // batch one is bit-identical to the unbatched call).
+      std::vector<double> wp, wn;
+      split_rails(w.row(r), wp, wn);
+      for (std::size_t s = 0; s < batch; ++s) {
+        const std::span<const double> xp(xs_pos.data() + s * cols, cols);
+        const std::span<const double> xn(xs_neg.data() + s * cols, cols);
+        cells[r * batch + s] = unit.dot_signed_rails(wp, wn, xp, xn);
+      }
     });
-    // DACs inside dot_signed: four rail passes per row.
-    report.input_conversions += 4 * x.size() * rows;
+    // DACs inside the rail passes: four per row per sample.
+    report.input_conversions += 4 * cols * rows * batch;
   }
 
-  phot::gemv_result out;
-  out.values.reserve(rows);
-  for (const phot::dot_result& d : row_results) {
-    out.values.push_back(d.value);
-    out.latency_s += d.latency_s;
-    out.symbols += d.symbols;
+  phot::gemm_result out;
+  out.batch = batch;
+  out.values.assign(batch * rows, 0.0);
+  // Fixed rows-outer / samples-inner fold: thread-invariant float sums,
+  // and a batch of one folds exactly like the per-vector path did.
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t s = 0; s < batch; ++s) {
+      const phot::dot_result& d = cells[r * batch + s];
+      out.values[s * rows + r] = d.value;
+      out.latency_s += d.latency_s;
+      out.symbols += d.symbols;
+    }
   }
   if (ledger_ != nullptr) {
     // Merge in row order so energy totals are thread-invariant.
@@ -214,14 +260,21 @@ engine_report photonic_engine::run_gemv(const proto::compute_header& h,
   const bool chained_output = h.has_more_stages();
   const double scale = std::max<double>(1.0, static_cast<double>(cols));
 
+  // Decode every sample up front and run one batched GEMM: the per-row
+  // weight rails are split once for the whole packet and all samples
+  // stream through them.
+  std::vector<double> xs(batch * cols);
   for (std::size_t b = 0; b < batch; ++b) {
     const auto sample = input.subspan(b * cols, cols);
     const std::vector<double> x =
         chained_input ? proto::decode_unit_vector(sample)
                       : proto::decode_signed_vector(sample);
-    phot::gemv_result y = analog_gemv(gemv_->weights, x, optical, report);
-    for (std::size_t r = 0; r < y.values.size(); ++r) {
-      double v = y.values[r];
+    std::copy(x.begin(), x.end(), xs.begin() + b * cols);
+  }
+  const phot::gemm_result y = analog_gemm(gemv_->weights, xs, optical, report);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      double v = y.values[b * rows + r];
       if (!gemv_->bias.empty()) v += gemv_->bias[r];
       if (gemv_->relu_output && v < 0.0) v = 0.0;
       result_region[b * rows + r] = chained_output
@@ -426,19 +479,217 @@ engine_report photonic_engine::process(net::packet& pkt) {
   }
 
   if (report.computed) {
-    header->hops = static_cast<std::uint8_t>(header->hops + 1);
-    header->result_length = report.result_bytes;
-    if (header->has_more_stages()) {
-      // Distributed chain (§5): hand off to the next stage — the result
-      // becomes its input and the packet keeps routing by the new
-      // primitive until a capable transponder is crossed.
-      header->advance_stage(report.result_bytes);
-    } else {
-      header->flags |= proto::flag_has_result;
-    }
-    rewrite_compute_header(pkt, *header);
+    apply_postlude(pkt, *header, report);
   }
   return report;
+}
+
+void photonic_engine::apply_postlude(net::packet& pkt,
+                                     proto::compute_header& h,
+                                     const engine_report& report) {
+  h.hops = static_cast<std::uint8_t>(h.hops + 1);
+  h.result_length = report.result_bytes;
+  if (h.has_more_stages()) {
+    // Distributed chain (§5): hand off to the next stage — the result
+    // becomes its input and the packet keeps routing by the new
+    // primitive until a capable transponder is crossed.
+    h.advance_stage(report.result_bytes);
+  } else {
+    h.flags |= proto::flag_has_result;
+  }
+  rewrite_compute_header(pkt, h);
+}
+
+bool photonic_engine::can_process(const net::packet& pkt) const {
+  const auto h = proto::peek_compute_header(pkt);
+  if (!h || h->has_result() || !supports(h->primitive)) return false;
+  const auto input = proto::compute_input(pkt, *h);
+  const std::size_t batch = h->batch;
+
+  // Does a result region of `len` bytes fit at the header's offset?
+  const auto result_fits = [&](std::size_t len) {
+    const std::size_t begin = proto::compute_header_bytes + h->result_offset;
+    return len > 0 && begin + len <= pkt.payload.size();
+  };
+
+  switch (h->primitive) {
+    case proto::primitive_id::p1_dot_product:
+      return batch > 0 && input.size() == gemv_->weights.cols * batch &&
+             result_fits(gemv_->weights.rows * batch);
+    case proto::primitive_id::p2_pattern_match:
+      return !input.empty() && result_fits(1);
+    case proto::primitive_id::p3_nonlinear:
+      return !input.empty() && result_fits(input.size());
+    case proto::primitive_id::p1_p3_dnn:
+      return batch > 0 &&
+             input.size() == dnn_->layers.front().weights.cols * batch &&
+             result_fits((1 + dnn_->layers.back().weights.rows) * batch);
+    case proto::primitive_id::none:
+      return false;
+  }
+  return false;
+}
+
+batch_report photonic_engine::process_batch(
+    std::span<net::packet* const> pkts) {
+  batch_report out;
+  out.computed.assign(pkts.size(), false);
+
+  const auto absorb = [&out](const engine_report& r) {
+    out.compute_latency_s += r.compute_latency_s;
+    out.input_conversions += r.input_conversions;
+    out.optical_symbols += r.optical_symbols;
+  };
+
+  // Admission: pool P1 packets and DNN packets; everything else (and
+  // anything a validation check rejects) runs through process() singly.
+  struct pooled_pkt {
+    std::size_t idx = 0;              ///< position in `pkts`
+    proto::compute_header h{};
+    std::size_t first_sample = 0;     ///< offset into the pooled sample set
+    std::size_t samples = 0;
+  };
+  std::vector<pooled_pkt> p1_group, dnn_group;
+  std::vector<double> p1_xs, dnn_xs;  ///< pooled decoded samples
+
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    net::packet& pkt = *pkts[i];
+    const auto h = proto::peek_compute_header(pkt);
+    const bool poolable =
+        h && can_process(pkt) &&
+        (h->primitive == proto::primitive_id::p1_dot_product ||
+         h->primitive == proto::primitive_id::p1_p3_dnn);
+    if (!poolable) {
+      const engine_report r = process(pkt);
+      if (r.computed) {
+        out.computed[i] = true;
+        ++out.computed_packets;
+        absorb(r);
+      }
+      continue;
+    }
+
+    const auto input = proto::compute_input(pkt, *h);
+    const bool p1 = h->primitive == proto::primitive_id::p1_dot_product;
+    const std::size_t cols = p1 ? gemv_->weights.cols
+                                : dnn_->layers.front().weights.cols;
+    auto& group = p1 ? p1_group : dnn_group;
+    auto& xs = p1 ? p1_xs : dnn_xs;
+    // First-stage inputs use the signed encoding the client chose;
+    // chained intermediate values travel in the unit [0,1] encoding.
+    // (DNN inputs are always unit-encoded.)
+    const bool chained_input = h->hops > 0;
+    pooled_pkt entry{i, *h, xs.size() / cols,
+                     static_cast<std::size_t>(h->batch)};
+    for (std::size_t b = 0; b < entry.samples; ++b) {
+      const auto sample = input.subspan(b * cols, cols);
+      const std::vector<double> x =
+          (p1 && !chained_input) ? proto::decode_signed_vector(sample)
+                                 : proto::decode_unit_vector(sample);
+      xs.insert(xs.end(), x.begin(), x.end());
+    }
+    group.push_back(std::move(entry));
+  }
+
+  const bool optical = config_.mode == compute_mode::on_fiber;
+
+  // ---- pooled P1: one batched GEMM over every queued sample ----------
+  if (!p1_group.empty()) {
+    engine_report agg;
+    const phot::gemm_result y =
+        analog_gemm(gemv_->weights, p1_xs, optical, agg);
+    absorb(agg);
+    const std::size_t rows = gemv_->weights.rows;
+    const std::size_t cols = gemv_->weights.cols;
+    const double scale = std::max<double>(1.0, static_cast<double>(cols));
+    for (pooled_pkt& e : p1_group) {
+      net::packet& pkt = *pkts[e.idx];
+      auto result_region = result_span(pkt, e.h, rows * e.samples);
+      const bool chained_output = e.h.has_more_stages();
+      for (std::size_t b = 0; b < e.samples; ++b) {
+        const std::size_t s = e.first_sample + b;
+        for (std::size_t r = 0; r < rows; ++r) {
+          double v = y.values[s * rows + r];
+          if (!gemv_->bias.empty()) v += gemv_->bias[r];
+          if (gemv_->relu_output && v < 0.0) v = 0.0;
+          result_region[b * rows + r] =
+              chained_output ? proto::encode_unit_u8(v / scale)
+                             : proto::encode_signed_u8(v / scale);
+        }
+      }
+      engine_report r;
+      r.computed = true;
+      r.result_bytes = static_cast<std::uint16_t>(rows * e.samples);
+      apply_postlude(pkt, e.h, r);
+      out.computed[e.idx] = true;
+      ++out.computed_packets;
+    }
+  }
+
+  // ---- pooled DNN: layer-major GEMM over every queued sample ---------
+  if (!dnn_group.empty()) {
+    engine_report agg;
+    const double full_scale_mw = config_.dot.laser.power_mw;
+    const std::size_t total = dnn_xs.size() /
+                              dnn_->layers.front().weights.cols;
+    std::vector<double> acts = std::move(dnn_xs);
+    for (const photonic_layer& layer : dnn_->layers) {
+      const phot::gemm_result z =
+          analog_gemm(layer.weights, acts, optical, agg);
+      const std::size_t dim = layer.weights.rows;
+      acts.assign(total * dim, 0.0);
+      for (std::size_t s = 0; s < total; ++s) {
+        for (std::size_t i = 0; i < dim; ++i) {
+          double v = z.values[s * dim + i];
+          if (!layer.bias.empty()) v += layer.bias[i];
+          if (layer.activation) {
+            const double u =
+                std::clamp(v / layer.activation_scale, 0.0, 1.0);
+            acts[s * dim + i] = nonlinear_.activate(u, full_scale_mw);
+          } else {
+            acts[s * dim + i] = v;
+          }
+        }
+        if (layer.activation) {
+          agg.compute_latency_s += static_cast<double>(dim) /
+                                   config_.nonlinear.symbol_rate_hz;
+          agg.optical_symbols += dim;
+        }
+      }
+    }
+    absorb(agg);
+    const std::size_t out_dim = dnn_->layers.back().weights.rows;
+    for (pooled_pkt& e : dnn_group) {
+      net::packet& pkt = *pkts[e.idx];
+      auto result_region = result_span(pkt, e.h, (1 + out_dim) * e.samples);
+      for (std::size_t b = 0; b < e.samples; ++b) {
+        const std::size_t s = e.first_sample + b;
+        const double* act = acts.data() + s * out_dim;
+        double amax = 1e-9;
+        for (std::size_t i = 0; i < out_dim; ++i) {
+          amax = std::max(amax, std::abs(act[i]));
+        }
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < out_dim; ++i) {
+          if (act[i] > act[best]) best = i;
+        }
+        const std::size_t base = b * (1 + out_dim);
+        result_region[base] = static_cast<std::uint8_t>(best);
+        for (std::size_t i = 0; i < out_dim; ++i) {
+          result_region[base + 1 + i] =
+              proto::encode_signed_u8(act[i] / amax);
+        }
+      }
+      engine_report r;
+      r.computed = true;
+      r.result_bytes = static_cast<std::uint16_t>((1 + out_dim) * e.samples);
+      apply_postlude(pkt, e.h, r);
+      out.computed[e.idx] = true;
+      ++out.computed_packets;
+    }
+  }
+
+  return out;
 }
 
 bool photonic_engine::detect_preamble(std::span<const phot::field> wave) {

@@ -85,6 +85,15 @@ struct engine_report {
   std::optional<std::uint8_t> match_index;  ///< for P2 tasks
 };
 
+/// Aggregate cost of one process_batch() call.
+struct batch_report {
+  std::size_t computed_packets = 0;
+  double compute_latency_s = 0.0;       ///< total analog time, all packets
+  std::uint64_t input_conversions = 0;
+  std::uint64_t optical_symbols = 0;
+  std::vector<bool> computed;           ///< per input packet, same order
+};
+
 class photonic_engine {
  public:
   photonic_engine(engine_config config, std::uint64_t seed,
@@ -123,6 +132,22 @@ class photonic_engine {
   /// unconfigured primitive, or has malformed bounds.
   engine_report process(net::packet& pkt);
 
+  /// Would process() compute this packet? Pure validation — parses the
+  /// header and checks primitive support, input shape and result-region
+  /// bounds without touching any noise stream. Used by the runtime to
+  /// admit packets into a site batch only when the later batched compute
+  /// cannot fail.
+  [[nodiscard]] bool can_process(const net::packet& pkt) const;
+
+  /// Process many compute packets as one batch. GEMV (P1) packets pool
+  /// their samples into a single batched GEMM — the per-row weight rails
+  /// are split once and every queued sample streams through them — and
+  /// DNN packets run layer-major over the pooled sample set. Other
+  /// primitives fall back to process() one by one. Each packet gets the
+  /// same in-place writeback and header postlude as process(); a batch of
+  /// one P1/DNN packet with batch field 1 is bit-identical to process().
+  batch_report process_batch(std::span<net::packet* const> pkts);
+
   /// Optical preamble detection (§3): does this waveform begin with the
   /// compute preamble? `wave` must hold the pilot + 16 preamble symbols
   /// produced by `encode_preamble`.
@@ -139,13 +164,30 @@ class photonic_engine {
   engine_report run_dnn(const proto::compute_header& h, net::packet& pkt);
 
   /// One signed GEMV over the analog units; shared by P1 and DNN layers.
-  /// `input_is_optical` selects the on-fiber input path. Rows run on the
-  /// deterministic worker pool (see photonics/kernels.hpp): one forked
-  /// noise stream and one private ledger per row, merged in row order.
+  /// `input_is_optical` selects the on-fiber input path. Thin batch-1
+  /// wrapper over analog_gemm (bit-identical to the historical per-vector
+  /// path by construction).
   [[nodiscard]] phot::gemv_result analog_gemv(const phot::matrix& w,
                                               std::span<const double> x,
                                               bool input_is_optical,
                                               engine_report& report);
+
+  /// Batched signed GEMM over the analog units: `xs` carries
+  /// xs.size() / w.cols input vectors back to back. Per-row noise streams
+  /// are forked in row order exactly once per call — independent of batch
+  /// size — and each row's unit splits its weight rails once, then streams
+  /// every sample through them. Rows run on the deterministic worker pool
+  /// (see photonics/kernels.hpp): one forked stream and one private ledger
+  /// per row, merged in row order. Returns sample-major values.
+  [[nodiscard]] phot::gemm_result analog_gemm(const phot::matrix& w,
+                                              std::span<const double> xs,
+                                              bool input_is_optical,
+                                              engine_report& report);
+
+  /// Shared post-compute packet rewrite: bump hops, record the result
+  /// length, advance the chain stage or set flag_has_result.
+  void apply_postlude(net::packet& pkt, proto::compute_header& h,
+                      const engine_report& report);
 
   engine_config config_;
   /// Ledger-free twin used to reconstruct the optical form of incoming

@@ -315,6 +315,43 @@ double onfiber_runtime::site_overhead_s(const site&) const {
   return preamble_s + insertion_s;
 }
 
+void onfiber_runtime::flush_site_batch(net::node_id at) {
+  site& s = *sites_[at];
+  s.flush_scheduled = false;
+  if (s.batch_queue.empty()) return;
+  std::vector<net::packet> batch = std::move(s.batch_queue);
+  s.batch_queue.clear();
+
+  std::vector<net::packet*> ptrs;
+  ptrs.reserve(batch.size());
+  for (net::packet& p : batch) ptrs.push_back(&p);
+  const batch_report report = s.engine->process_batch(ptrs);
+
+  // One site overhead for the whole flush — that is the amortization —
+  // plus the shared analog evaluation time; the serial engine then queues
+  // the flush behind in-progress work exactly like a single packet.
+  const double now = sim_.now();
+  const double start = now > s.busy_until_s ? now : s.busy_until_s;
+  const double service = site_overhead_s(s) + report.compute_latency_s;
+  const double done = start + service;
+  s.busy_until_s = done;
+  s.total_busy_s += service;
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (report.computed[i]) {
+      ++stats_.computed;
+      ++s.computed;
+      sim_.schedule_packet_at(done, std::move(batch[i]), at,
+                              net::wan_fabric::op_inject, &fabric_);
+    } else {
+      // can_process() admitted it, so this is defensive only: a packet
+      // the batched engine still refused is dropped and counted rather
+      // than silently lost.
+      ++stats_.malformed_dropped;
+    }
+  }
+}
+
 net::hook_decision onfiber_runtime::on_packet(net::node_id at,
                                               net::packet& pkt, double now) {
   net::hook_decision keep_going;
@@ -331,6 +368,21 @@ net::hook_decision onfiber_runtime::on_packet(net::node_id at,
   // Compute here?
   if (site_supports(at, header->primitive)) {
     site& s = *sites_[at];
+    // Site batching (opt-in): park the packet and execute everything that
+    // arrives within the window as one batched engine call. Admission is
+    // gated on can_process() so a queued packet can never fail compute —
+    // anything the engine would reject falls through to the per-packet
+    // path below (which forwards it raw, exactly as before).
+    if (batching_window_s_ > 0.0 && s.engine->can_process(pkt)) {
+      s.batch_queue.push_back(std::move(pkt));
+      if (!s.flush_scheduled) {
+        s.flush_scheduled = true;
+        sim_.schedule(batching_window_s_,
+                      [this, at] { flush_site_batch(at); });
+      }
+      return net::hook_decision{net::hook_decision::action_type::consume,
+                                net::invalid_node};
+    }
     const engine_report report = s.engine->process(pkt);
     if (report.computed) {
       ++stats_.computed;

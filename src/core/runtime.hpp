@@ -67,6 +67,19 @@ class onfiber_runtime {
   };
   void set_steering_policy(steering_policy p) { steering_ = p; }
 
+  /// Opt-in site batching: instead of running the analog engine once per
+  /// arriving packet, a site collects the compute packets that arrive
+  /// within `window_s` and executes them as one photonic_engine
+  /// process_batch() call — GEMV/DNN packets pool their samples into
+  /// batched GEMMs, and the whole flush pays the per-packet site overhead
+  /// (preamble detection + result insertion) once. Packets are only
+  /// admitted to the queue when can_process() guarantees the batched
+  /// compute cannot fail. 0 disables (the default: every packet computes
+  /// on arrival, exactly the historical behavior).
+  void enable_site_batching(double window_s) {
+    batching_window_s_ = window_s > 0.0 ? window_s : 0.0;
+  }
+
   /// Inject a packet at a node.
   void submit(net::packet pkt, net::node_id ingress);
 
@@ -189,6 +202,8 @@ class onfiber_runtime {
     double busy_until_s = 0.0;  ///< serial analog engine availability
     double total_busy_s = 0.0;
     std::uint64_t computed = 0;
+    std::vector<net::packet> batch_queue;  ///< awaiting a batched flush
+    bool flush_scheduled = false;
   };
 
   struct pending_task {
@@ -205,6 +220,11 @@ class onfiber_runtime {
   };
 
   net::hook_decision on_packet(net::node_id at, net::packet& pkt, double now);
+
+  /// Run the queued batch at a site: one process_batch() call, one site
+  /// overhead charge, then every computed packet re-enters the fabric
+  /// when the shared analog evaluation finishes.
+  void flush_site_batch(net::node_id at);
 
   void on_delivery(const net::packet& pkt, net::node_id at, double now);
   void send_tracked(pending_task& task, std::uint32_t task_id);
@@ -223,6 +243,7 @@ class onfiber_runtime {
   runtime_stats stats_;
 
   steering_policy steering_ = steering_policy::nearest_site;
+  double batching_window_s_ = 0.0;  ///< 0 = per-packet compute (default)
   /// Sites supporting each primitive (filled with the compute routes).
   std::array<std::vector<net::node_id>,
              static_cast<std::size_t>(proto::primitive_id::p1_p3_dnn) + 1>

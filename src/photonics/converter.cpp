@@ -31,6 +31,17 @@ double enob_noise_sigma(const converter_config& c) {
   return extra_var > 0.0 ? std::sqrt(extra_var) : 0.0;
 }
 
+/// Branch-free quantize_to_grid: same arithmetic in the same order, with
+/// the clip written as conditional moves (min/max) instead of the branchy
+/// std::clamp — identical results for all non-NaN inputs.
+inline double quantize_branch_free(double value, double full_scale,
+                                   double levels) {
+  double c = value;
+  c = c < 0.0 ? 0.0 : c;
+  c = c > full_scale ? full_scale : c;
+  return std::round(c / full_scale * levels) / levels * full_scale;
+}
+
 }  // namespace
 
 // ------------------------------------------------------------------- dac
@@ -56,9 +67,37 @@ double dac::convert(double value) {
 }
 
 void dac::convert(std::span<const double> in, std::span<double> out) {
+  convert(in, out, noise_scratch_);
+}
+
+void dac::convert(std::span<const double> in, std::span<double> out,
+                  std::vector<double>& noise_scratch) {
   const std::size_t n = std::min(in.size(), out.size());
-  for (std::size_t i = 0; i < n; ++i) out[i] = convert_core(in[i]);
-  if (ledger_ != nullptr && n > 0) {
+  if (n == 0) return;
+  const double fs = config_.full_scale;
+  const double levels = static_cast<double>((1ULL << config_.bits) - 1);
+  const double sigma = noise_sigma_;
+  if (sigma > 0.0) {
+    // Pass 1 (scalar, sequence-preserving): element i consumes draw i,
+    // exactly as the scalar loop does.
+    noise_scratch.resize(n);
+    gen_.fill_normal(std::span<double>(noise_scratch.data(), n));
+    // Pass 2 (branch-free math): quantize, add noise, clip — all
+    // conditional moves over contiguous arrays.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double q = quantize_branch_free(in[i], fs, levels);
+      double o = q + sigma * noise_scratch[i];
+      o = o < 0.0 ? 0.0 : o;
+      o = o > fs ? fs : o;
+      out[i] = o;
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      // No noise: quantize already lands in [0, full_scale].
+      out[i] = quantize_branch_free(in[i], fs, levels);
+    }
+  }
+  if (ledger_ != nullptr) {
     ledger_->charge("dac", costs_.dac_conversion_j * static_cast<double>(n),
                     n);
   }
@@ -93,9 +132,29 @@ double adc::convert(double value) {
 }
 
 void adc::convert(std::span<const double> in, std::span<double> out) {
+  convert(in, out, noise_scratch_);
+}
+
+void adc::convert(std::span<const double> in, std::span<double> out,
+                  std::vector<double>& noise_scratch) {
   const std::size_t n = std::min(in.size(), out.size());
-  for (std::size_t i = 0; i < n; ++i) out[i] = convert_core(in[i]);
-  if (ledger_ != nullptr && n > 0) {
+  if (n == 0) return;
+  const double fs = config_.full_scale;
+  const double levels = static_cast<double>((1ULL << config_.bits) - 1);
+  const double sigma = noise_sigma_;
+  if (sigma > 0.0) {
+    noise_scratch.resize(n);
+    gen_.fill_normal(std::span<double>(noise_scratch.data(), n));
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = quantize_branch_free(in[i] + sigma * noise_scratch[i], fs,
+                                    levels);
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = quantize_branch_free(in[i], fs, levels);
+    }
+  }
+  if (ledger_ != nullptr) {
     ledger_->charge("adc", costs_.adc_conversion_j * static_cast<double>(n),
                     n);
   }

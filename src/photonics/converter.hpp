@@ -35,6 +35,14 @@ class dac {
 
   /// Batch convert into preallocated storage (`in.size()` values written
   /// to `out`). Bit-identical to the scalar loop; one bulk ledger charge.
+  /// Two-pass: a sequence-preserving noise fill into `noise_scratch`
+  /// (exact same draw order as the scalar path), then a branch-free math
+  /// pass over contiguous data. The scalar path's clamp branches
+  /// mispredict on rail inputs — where half the codes are exactly zero
+  /// and the noise sign is random — roughly doubling DAC cost; the math
+  /// pass compiles to min/max instead.
+  void convert(std::span<const double> in, std::span<double> out,
+               std::vector<double>& noise_scratch);
   void convert(std::span<const double> in, std::span<double> out);
 
   [[nodiscard]] std::vector<double> convert(std::span<const double> values);
@@ -53,6 +61,7 @@ class dac {
   double noise_sigma_;
   energy_ledger* ledger_ = nullptr;
   energy_costs costs_{};
+  std::vector<double> noise_scratch_;
 };
 
 /// Analog-to-digital converter: same model in the opposite direction.
@@ -63,7 +72,10 @@ class adc {
 
   [[nodiscard]] double convert(double value);
 
-  /// Batch convert into preallocated storage; see dac::convert.
+  /// Batch convert into preallocated storage; see dac::convert for the
+  /// two-pass (noise fill, then branch-free math) structure.
+  void convert(std::span<const double> in, std::span<double> out,
+               std::vector<double>& noise_scratch);
   void convert(std::span<const double> in, std::span<double> out);
 
   [[nodiscard]] std::vector<double> convert(std::span<const double> values);
@@ -80,6 +92,7 @@ class adc {
   double noise_sigma_;
   energy_ledger* ledger_ = nullptr;
   energy_costs costs_{};
+  std::vector<double> noise_scratch_;
 };
 
 /// Shared quantizer math: clip to [0, full_scale] and snap to an N-bit grid.

@@ -121,8 +121,8 @@ dot_result dot_product_unit::dot_unit_range(std::span<const double> a,
   scratch_.power.resize(n);
   scratch_.product.resize(n);
 
-  dac_a_.convert(a, scratch_.dac_a);
-  dac_b_.convert(b, scratch_.dac_b);
+  dac_a_.convert(a, scratch_.dac_a, scratch_.dac_noise_a);
+  dac_b_.convert(b, scratch_.dac_b, scratch_.dac_noise_b);
   laser_.emit_powers(scratch_.power);
   mod_a_.encode_intensity(scratch_.dac_a, scratch_.trans_a);
   mod_b_.encode_intensity(scratch_.dac_b, scratch_.trans_b);
@@ -157,15 +157,18 @@ dot_result dot_product_unit::dot_signed(std::span<const double> a,
                                         std::span<const double> b) {
   split_rails(a, scratch_.rail_a_pos, scratch_.rail_a_neg);
   split_rails(b, scratch_.rail_b_pos, scratch_.rail_b_neg);
+  return dot_signed_rails(scratch_.rail_a_pos, scratch_.rail_a_neg,
+                          scratch_.rail_b_pos, scratch_.rail_b_neg);
+}
 
-  const dot_result pp =
-      dot_unit_range(scratch_.rail_a_pos, scratch_.rail_b_pos);
-  const dot_result nn =
-      dot_unit_range(scratch_.rail_a_neg, scratch_.rail_b_neg);
-  const dot_result pn =
-      dot_unit_range(scratch_.rail_a_pos, scratch_.rail_b_neg);
-  const dot_result np =
-      dot_unit_range(scratch_.rail_a_neg, scratch_.rail_b_pos);
+dot_result dot_product_unit::dot_signed_rails(std::span<const double> a_pos,
+                                              std::span<const double> a_neg,
+                                              std::span<const double> b_pos,
+                                              std::span<const double> b_neg) {
+  const dot_result pp = dot_unit_range(a_pos, b_pos);
+  const dot_result nn = dot_unit_range(a_neg, b_neg);
+  const dot_result pn = dot_unit_range(a_pos, b_neg);
+  const dot_result np = dot_unit_range(a_neg, b_pos);
 
   dot_result r;
   r.value = pp.value + nn.value - pn.value - np.value;
@@ -203,7 +206,7 @@ void dot_product_unit::encode_to_optical(std::span<const double> a,
   // travels down a fiber), but runs each device as one batch. Per-device
   // streams make this bit-identical to the symbol-by-symbol loop.
   scratch_.dac_a.resize(a.size());
-  dac_a_.convert(a, scratch_.dac_a);
+  dac_a_.convert(a, scratch_.dac_a, scratch_.dac_noise_a);
   laser_.emit(a.size(), out);
   mod_a_.encode(scratch_.dac_a, out);
 }
@@ -224,7 +227,7 @@ dot_result dot_product_unit::dot_with_optical_input(
   scratch_.trans_b.resize(n);
   scratch_.product.resize(n);
 
-  dac_b_.convert(b, scratch_.dac_b);
+  dac_b_.convert(b, scratch_.dac_b, scratch_.dac_noise_b);
   mod_b_.encode_intensity(scratch_.dac_b, scratch_.trans_b);
   for (std::size_t i = 0; i < n; ++i) {
     scratch_.product[i] = power_mw(optical_a[i]) * scratch_.trans_b[i];

@@ -82,6 +82,16 @@ class dot_product_unit {
   [[nodiscard]] dot_result dot_signed(std::span<const double> a,
                                       std::span<const double> b);
 
+  /// dot_signed with the rails already split. The batched GEMM path uses
+  /// this to split each weight row once and stream many sample rails
+  /// through it; `dot_signed` is exactly `split + dot_signed_rails`, so a
+  /// batch of one is bit-identical to the unbatched call. Rail spans must
+  /// be non-empty, equal length, and must not alias this unit's scratch.
+  [[nodiscard]] dot_result dot_signed_rails(std::span<const double> a_pos,
+                                            std::span<const double> a_neg,
+                                            std::span<const double> b_pos,
+                                            std::span<const double> b_neg);
+
   /// §4 noise mitigation ("new algorithms to mitigate photonic noise
   /// during computation"): repeat the analog evaluation `repeats` times
   /// and average. Analog noise shrinks ~1/sqrt(repeats); the readout
@@ -122,6 +132,7 @@ class dot_product_unit {
     std::vector<double> rail_a_pos, rail_a_neg;  ///< signed-input rails
     std::vector<double> rail_b_pos, rail_b_neg;
     std::vector<double> dac_a, dac_b;      ///< post-DAC drive levels
+    std::vector<double> dac_noise_a, dac_noise_b;  ///< DAC two-pass draws
     std::vector<double> trans_a, trans_b;  ///< MZM intensity transmissions
     std::vector<double> power;             ///< laser per-symbol powers [mW]
     std::vector<double> product;           ///< per-symbol product powers [mW]

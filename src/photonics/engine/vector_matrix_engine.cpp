@@ -57,6 +57,72 @@ gemv_result vector_matrix_engine::run_gemv(const matrix& w,
   return out;
 }
 
+gemm_result vector_matrix_engine::gemm_signed(const matrix& w,
+                                              std::span<const double> xs) {
+  if (w.rows == 0 || w.cols == 0 || xs.empty() ||
+      xs.size() % w.cols != 0) {
+    throw std::invalid_argument("vector_matrix_engine: gemm shape mismatch");
+  }
+  const std::size_t rows = w.rows;
+  const std::size_t cols = w.cols;
+  const std::size_t batch = xs.size() / cols;
+
+  // Exactly one seed fork per row, independent of batch size: a batch of
+  // one advances the row-seed stream the same way gemv_signed does.
+  std::vector<std::uint64_t> seeds(rows);
+  for (std::uint64_t& s : seeds) s = row_seed_stream_();
+
+  // Split every sample's rails once up front; rows share them read-only.
+  std::vector<double> xs_pos(xs.size());
+  std::vector<double> xs_neg(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs_pos[i] = xs[i] > 0.0 ? xs[i] : 0.0;
+    xs_neg[i] = xs[i] < 0.0 ? -xs[i] : 0.0;
+  }
+
+  std::vector<dot_result> cells(rows * batch);
+  std::vector<energy_ledger> row_ledgers(ledger_ != nullptr ? rows : 0);
+
+  parallel_rows(
+      rows, kernel_thread_count(threads_override_), [&](std::size_t r) {
+        dot_product_unit unit(config_, seeds[r],
+                              ledger_ != nullptr ? &row_ledgers[r] : nullptr,
+                              costs_);
+        // Split this row's weight rails once; every sample then streams
+        // through the same rails on the unit's continuing noise streams.
+        const auto row = w.row(r);
+        std::vector<double> w_pos(cols);
+        std::vector<double> w_neg(cols);
+        for (std::size_t c = 0; c < cols; ++c) {
+          w_pos[c] = row[c] > 0.0 ? row[c] : 0.0;
+          w_neg[c] = row[c] < 0.0 ? -row[c] : 0.0;
+        }
+        for (std::size_t s = 0; s < batch; ++s) {
+          const std::span<const double> xp(xs_pos.data() + s * cols, cols);
+          const std::span<const double> xn(xs_neg.data() + s * cols, cols);
+          cells[r * batch + s] = unit.dot_signed_rails(w_pos, w_neg, xp, xn);
+        }
+      });
+
+  gemm_result out;
+  out.batch = batch;
+  out.values.assign(batch * rows, 0.0);
+  // Fold rows-outer / samples-inner — a fixed order, so aggregate float
+  // sums are thread-invariant and a batch of one folds exactly like gemv.
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t s = 0; s < batch; ++s) {
+      const dot_result& d = cells[r * batch + s];
+      out.values[s * rows + r] = d.value;
+      out.latency_s += d.latency_s;
+      out.symbols += d.symbols;
+    }
+  }
+  if (ledger_ != nullptr) {
+    for (const energy_ledger& l : row_ledgers) ledger_->merge(l);
+  }
+  return out;
+}
+
 gemv_result vector_matrix_engine::gemv_signed(const matrix& w,
                                               std::span<const double> x) {
   return run_gemv(w, x, /*signed_inputs=*/true);

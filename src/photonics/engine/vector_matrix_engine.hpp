@@ -44,6 +44,15 @@ struct gemv_result {
   std::uint64_t symbols = 0;
 };
 
+/// Aggregated result of a batched GEMM evaluation: `batch` input vectors
+/// streamed through one weight matrix.
+struct gemm_result {
+  std::size_t batch = 0;
+  std::vector<double> values;  ///< sample-major: values[s * rows + r]
+  double latency_s = 0.0;      ///< total time on the time-multiplexed unit
+  std::uint64_t symbols = 0;
+};
+
 class vector_matrix_engine {
  public:
   vector_matrix_engine(dot_product_config config, std::uint64_t seed,
@@ -62,6 +71,18 @@ class vector_matrix_engine {
   /// y = W x for non-negative W, x in [0, 1] (single-pass per row).
   [[nodiscard]] gemv_result gemv_unit_range(const matrix& w,
                                             std::span<const double> x);
+
+  /// Batched GEMM: `xs` holds batch = xs.size() / w.cols signed input
+  /// vectors back to back; every sample streams through the same per-row
+  /// weight rails (the photonic analogue of holding the MZM weight bank
+  /// steady while symbols fly by — the weight row is split once per row,
+  /// the sample rails once per batch). Per-row seeds are forked in row
+  /// order exactly as in gemv_signed, so a batch of one is bit-identical
+  /// to gemv_signed; within a row, samples run in sample order on the
+  /// row unit's continuing noise streams. Deterministic at any thread
+  /// count.
+  [[nodiscard]] gemm_result gemm_signed(const matrix& w,
+                                        std::span<const double> xs);
 
   /// Override the worker count (0 = auto: ONFIBER_THREADS env var, else
   /// hardware concurrency). Any value yields bit-identical results.

@@ -1,21 +1,49 @@
 #include "photonics/kernels.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdlib>
-#include <exception>
 #include <mutex>
 #include <thread>
-#include <vector>
+
+#include "photonics/thread_pool.hpp"
 
 namespace onfiber::phot {
 
-std::size_t kernel_thread_count(std::size_t override_count) {
-  if (override_count > 0) return override_count;
+namespace {
+
+std::size_t parse_env_thread_count() {
   if (const char* env = std::getenv("ONFIBER_THREADS")) {
     const long parsed = std::strtol(env, nullptr, 10);
     if (parsed > 0) return static_cast<std::size_t>(parsed);
   }
+  return 0;
+}
+
+// ONFIBER_THREADS is parsed once per process: the lookup sat on every
+// parallel kernel call, and getenv is not something to hammer from the
+// GEMV hot path. Tests that change the variable mid-process call
+// refresh_kernel_thread_count_cache().
+std::size_t& env_thread_count_cache() {
+  static std::size_t cached = 0;
+  return cached;
+}
+
+std::once_flag env_thread_count_once;
+
+}  // namespace
+
+void refresh_kernel_thread_count_cache() {
+  // Re-arm the cache from the current environment. Test-only: not safe
+  // against concurrently running kernels.
+  std::call_once(env_thread_count_once, [] {});
+  env_thread_count_cache() = parse_env_thread_count();
+}
+
+std::size_t kernel_thread_count(std::size_t override_count) {
+  if (override_count > 0) return override_count;
+  std::call_once(env_thread_count_once,
+                 [] { env_thread_count_cache() = parse_env_thread_count(); });
+  if (const std::size_t env = env_thread_count_cache(); env > 0) return env;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;
 }
@@ -23,36 +51,13 @@ std::size_t kernel_thread_count(std::size_t override_count) {
 void parallel_rows(std::size_t rows, std::size_t threads,
                    const std::function<void(std::size_t)>& fn) {
   if (rows == 0) return;
-  if (threads <= 1 || rows <= 1) {
+  if (threads <= 1 || rows <= 1 || thread_pool::in_worker()) {
+    // Inline: degenerate shapes, single-threaded runs, and nested calls
+    // from inside a pool batch (which must not re-enter the pool).
     for (std::size_t r = 0; r < rows; ++r) fn(r);
     return;
   }
-
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t r = next.fetch_add(1, std::memory_order_relaxed);
-      if (r >= rows) return;
-      try {
-        fn(r);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        return;
-      }
-    }
-  };
-
-  const std::size_t n_workers = std::min(threads, rows);
-  std::vector<std::thread> pool;
-  pool.reserve(n_workers - 1);
-  for (std::size_t t = 1; t < n_workers; ++t) pool.emplace_back(worker);
-  worker();  // the calling thread participates
-  for (std::thread& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  thread_pool::instance().run(rows, threads, fn);
 }
 
 }  // namespace onfiber::phot

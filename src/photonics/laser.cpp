@@ -81,9 +81,37 @@ void laser::emit_powers(std::span<double> out_powers) {
   const std::size_t symbols = out_powers.size();
   const std::size_t per_symbol = draws_per_symbol();
   noise_scratch_.resize(per_symbol * symbols);
+  // Pass 1 (scalar, sequence-preserving): all noise draws up front, in
+  // exactly the interleaved [RIN, phase] order step_power consumes them.
   gen_.fill_normal(noise_scratch_);
-  const double* cursor = noise_scratch_.data();
-  for (double& p : out_powers) p = step_power(cursor);
+  const double* draws = noise_scratch_.data();
+  const bool has_rin = config_.enable_rin;
+  const bool has_phase = phase_step_sigma_ > 0.0;
+  // Pass 2a (branch-free, vectorizable): symbol powers from the RIN draws.
+  if (has_rin) {
+    const double base = config_.power_mw;
+    const double sigma = rin_sigma_mw_;
+    for (std::size_t i = 0; i < symbols; ++i) {
+      const double p = base + sigma * draws[i * per_symbol];
+      out_powers[i] = p < 0.0 ? 0.0 : p;
+    }
+  } else {
+    for (std::size_t i = 0; i < symbols; ++i) out_powers[i] = config_.power_mw;
+  }
+  // Pass 2b (scalar, order-preserving): the phase walk is a running sum,
+  // so its additions must stay in symbol order to keep phase_ bit-exact.
+  if (has_phase) {
+    const std::size_t offset = has_rin ? 1 : 0;
+    const double sigma = phase_step_sigma_;
+    double ph = phase_;
+    for (std::size_t i = 0; i < symbols; ++i) {
+      ph += sigma * draws[i * per_symbol + offset];
+      if (ph > 1e6 || ph < -1e6) {
+        ph = std::remainder(ph, 2.0 * std::numbers::pi);
+      }
+    }
+    phase_ = ph;
+  }
   if (ledger_ != nullptr && symbols > 0) {
     ledger_->charge("laser",
                     costs_.laser_j_per_symbol * static_cast<double>(symbols),

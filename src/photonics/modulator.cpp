@@ -87,11 +87,17 @@ void mzm_modulator::encode_intensity(std::span<const double> x,
   if (bias_error_rad_ == 0.0) {
     // Calibrated encode with a perfect bias: cos^2(acos(sqrt(x))) == x, so
     // the transmission is the clamped input held above the extinction
-    // floor — the hot path needs no transcendentals at all.
+    // floor — the hot path needs no transcendentals at all. Written as
+    // conditional moves so rail inputs (exact zeros mixed with positives)
+    // cannot stall on clamp branches.
+    const double floor_t = floor_transmission_;
+    const double loss = intensity_loss_ratio_;
     for (std::size_t i = 0; i < n; ++i) {
-      const double clamped = std::clamp(x[i], 0.0, 1.0);
-      const double t_intensity = std::max(clamped, floor_transmission_);
-      t_out[i] = t_intensity * intensity_loss_ratio_;
+      double c = x[i];
+      c = c < 0.0 ? 0.0 : c;
+      c = c > 1.0 ? 1.0 : c;
+      c = c < floor_t ? floor_t : c;
+      t_out[i] = c * loss;
     }
   } else {
     for (std::size_t i = 0; i < n; ++i) {

@@ -23,9 +23,50 @@ double photodetector::detect(field in) {
 }
 
 std::vector<double> photodetector::detect(std::span<const field> in) {
-  std::vector<double> out;
-  out.reserve(in.size());
-  for (const field& e : in) out.push_back(detect(e));
+  const std::size_t n = in.size();
+  std::vector<double> out(n);
+  if (n == 0) return out;
+  const receiver_noise_config& nz = config_.noise;
+  const double t_sigma =
+      nz.enable_thermal
+          ? thermal_noise_sigma_a(nz.load_ohm, nz.temperature_k,
+                                  nz.bandwidth_hz)
+          : 0.0;
+  const double t_var = t_sigma * t_sigma;
+  if (t_var > 0.0) {
+    // Two-pass fast path, gated on thermal noise: sample_current_noise_a
+    // skips its draw entirely when the variance is zero, and the shot
+    // term vanishes with the signal — only a positive thermal floor
+    // guarantees every symbol consumes exactly one draw, which is what
+    // lets the noise fill run up front in scalar order.
+    noise_scratch_.resize(n);
+    gen_.fill_normal(noise_scratch_);
+    const double sat = config_.saturation_current_a;
+    const bool shot = nz.enable_shot;
+    const double bandwidth = nz.bandwidth_hz;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double signal_a = expected_current_a(power_mw(in[i]));
+      double variance = 0.0;
+      if (shot) {
+        const double s = shot_noise_sigma_a(signal_a, bandwidth);
+        variance += s * s;
+      }
+      variance += t_var;
+      double c = signal_a + std::sqrt(variance) * noise_scratch_[i];
+      c = c < -sat ? -sat : c;
+      c = c > sat ? sat : c;
+      out[i] = c;
+    }
+    if (ledger_ != nullptr) {
+      // Per-element charges, same sequence as the scalar loop (one bulk
+      // joules multiply would round the ledger total differently).
+      for (std::size_t i = 0; i < n; ++i) {
+        ledger_->charge("photodetector", costs_.photodetector_readout_j);
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) out[i] = detect(in[i]);
+  }
   return out;
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "photonics/energy.hpp"
 #include "photonics/noise.hpp"
@@ -64,6 +65,7 @@ class photodetector {
   rng gen_;
   energy_ledger* ledger_ = nullptr;
   energy_costs costs_{};
+  std::vector<double> noise_scratch_;  ///< batched noise draws, reused
 };
 
 }  // namespace onfiber::phot

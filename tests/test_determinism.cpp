@@ -13,12 +13,18 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "core/compute_packets.hpp"
 #include "core/runtime.hpp"
 #include "network/topology.hpp"
+#include "photonics/converter.hpp"
+#include "photonics/kernels.hpp"
+#include "photonics/laser.hpp"
+#include "photonics/photodetector.hpp"
+#include "photonics/thread_pool.hpp"
 #include "protocol/compute_header.hpp"
 
 namespace onfiber {
@@ -140,24 +146,316 @@ TEST(DatapathDeterminism, BitIdenticalAcrossReruns) {
   expect_matches_golden(b);
 }
 
-TEST(DatapathDeterminism, InvariantAcrossThreadCounts) {
+/// Scoped ONFIBER_THREADS override. The kernel layer caches the env var
+/// (std::once_flag), so every change must go through
+/// refresh_kernel_thread_count_cache() to be observed.
+struct thread_env_guard {
   const char* prev = std::getenv("ONFIBER_THREADS");
-  const std::string saved = prev != nullptr ? prev : "";
+  std::string saved = prev != nullptr ? prev : "";
 
-  ::setenv("ONFIBER_THREADS", "1", 1);
-  const scenario_result one = run_flap_ber_scenario();
-  ::setenv("ONFIBER_THREADS", "3", 1);
-  const scenario_result three = run_flap_ber_scenario();
-
-  if (prev != nullptr) {
-    ::setenv("ONFIBER_THREADS", saved.c_str(), 1);
-  } else {
-    ::unsetenv("ONFIBER_THREADS");
+  void set(const char* threads) {
+    ::setenv("ONFIBER_THREADS", threads, 1);
+    phot::refresh_kernel_thread_count_cache();
   }
+  ~thread_env_guard() {
+    if (prev != nullptr) {
+      ::setenv("ONFIBER_THREADS", saved.c_str(), 1);
+    } else {
+      ::unsetenv("ONFIBER_THREADS");
+    }
+    phot::refresh_kernel_thread_count_cache();
+  }
+};
+
+TEST(DatapathDeterminism, InvariantAcrossThreadCounts) {
+  thread_env_guard env;
+  env.set("1");
+  const scenario_result one = run_flap_ber_scenario();
+  env.set("3");
+  const scenario_result three = run_flap_ber_scenario();
 
   EXPECT_TRUE(one.trace == three.trace);
   expect_matches_golden(one);
   expect_matches_golden(three);
+}
+
+// ---------------------------------------------------------------------
+// Worker-pool determinism: the persistent pool and the two-pass device
+// kernels may not change a single output bit at any thread count.
+
+bool bits_equal(std::span<const double> a, std::span<const double> b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+phot::matrix test_matrix(std::size_t rows, std::size_t cols,
+                         std::uint64_t seed) {
+  phot::matrix w(rows, cols);
+  phot::rng gen(seed);
+  for (double& v : w.data) v = 2.0 * gen.uniform() - 1.0;
+  return w;
+}
+
+TEST(PoolDeterminism, GemvBitIdenticalAcrossThreadCounts) {
+  const phot::matrix w = test_matrix(16, 64, 31);
+  std::vector<double> x(64);
+  phot::rng gen(77);
+  for (double& v : x) v = 2.0 * gen.uniform() - 1.0;
+
+  thread_env_guard env;
+  std::vector<phot::gemv_result> results;
+  for (const char* threads : {"1", "2", "8"}) {
+    env.set(threads);
+    phot::vector_matrix_engine engine({}, 42);
+    // Two calls per engine: the second runs on a warm pool and continues
+    // the engine's row-seed stream.
+    phot::gemv_result r = engine.gemv_signed(w, x);
+    const phot::gemv_result r2 = engine.gemv_signed(w, x);
+    r.values.insert(r.values.end(), r2.values.begin(), r2.values.end());
+    r.latency_s += r2.latency_s;
+    r.symbols += r2.symbols;
+    results.push_back(std::move(r));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_TRUE(bits_equal(results[0].values, results[i].values));
+    EXPECT_EQ(results[0].latency_s, results[i].latency_s);
+    EXPECT_EQ(results[0].symbols, results[i].symbols);
+  }
+}
+
+TEST(PoolDeterminism, GemmBitIdenticalAcrossThreadCounts) {
+  const phot::matrix w = test_matrix(8, 48, 13);
+  std::vector<double> xs(5 * 48);
+  phot::rng gen(99);
+  for (double& v : xs) v = 2.0 * gen.uniform() - 1.0;
+
+  thread_env_guard env;
+  std::vector<phot::gemm_result> results;
+  for (const char* threads : {"1", "2", "8"}) {
+    env.set(threads);
+    phot::vector_matrix_engine engine({}, 42);
+    results.push_back(engine.gemm_signed(w, xs));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_TRUE(bits_equal(results[0].values, results[i].values));
+    EXPECT_EQ(results[0].latency_s, results[i].latency_s);
+    EXPECT_EQ(results[0].symbols, results[i].symbols);
+  }
+}
+
+TEST(PoolDeterminism, GemmBatchOneBitIdenticalToGemv) {
+  const phot::matrix w = test_matrix(12, 32, 5);
+  std::vector<double> x(32);
+  phot::rng gen(17);
+  for (double& v : x) v = 2.0 * gen.uniform() - 1.0;
+
+  phot::vector_matrix_engine ev({}, 42);
+  phot::vector_matrix_engine em({}, 42);
+  for (int rep = 0; rep < 3; ++rep) {
+    const phot::gemv_result gv = ev.gemv_signed(w, x);
+    const phot::gemm_result gm = em.gemm_signed(w, x);
+    ASSERT_EQ(gm.batch, 1u);
+    EXPECT_TRUE(bits_equal(gv.values, gm.values)) << "rep " << rep;
+    EXPECT_EQ(gv.latency_s, gm.latency_s);
+    EXPECT_EQ(gv.symbols, gm.symbols);
+  }
+}
+
+TEST(PoolDeterminism, WarmPoolSpawnsNoThreadsPerCall) {
+  // Acceptance check for the persistent pool: after warm-up, repeated
+  // GEMV dispatches must not construct a single new thread.
+  thread_env_guard env;
+  env.set("8");
+  const phot::matrix w = test_matrix(16, 32, 3);
+  std::vector<double> x(32, 0.5);
+  phot::vector_matrix_engine engine({}, 7);
+  (void)engine.gemv_signed(w, x);  // warm-up: pool workers start here
+
+  auto& pool = phot::thread_pool::instance();
+  EXPECT_GE(pool.workers_alive(), 1u);
+  const std::uint64_t startups_before = pool.startups();
+  for (int rep = 0; rep < 8; ++rep) {
+    (void)engine.gemv_signed(w, x);
+  }
+  EXPECT_EQ(pool.startups(), startups_before);
+}
+
+// ---------------------------------------------------------------------
+// Two-pass device kernels: the batched (noise pass + math pass) paths
+// must reproduce the scalar per-element paths bit for bit.
+
+TEST(TwoPassKernels, DacBatchMatchesScalarExactly) {
+  // Rail-shaped input: zeros interleaved with values, plus both
+  // out-of-range edges the clamp must hit.
+  std::vector<double> in;
+  phot::rng gen(1234);
+  for (int i = 0; i < 257; ++i) {
+    in.push_back(i % 2 == 0 ? 0.0 : gen.uniform());
+  }
+  in.push_back(-0.25);  // below range
+  in.push_back(1.75);   // above range
+  in.push_back(1.0);
+  in.push_back(0.0);
+
+  phot::converter_config cfg;
+  phot::dac batch_dac(cfg, phot::rng{55});
+  phot::dac scalar_dac(cfg, phot::rng{55});
+  std::vector<double> batch_out(in.size());
+  batch_dac.convert(in, batch_out);
+  std::vector<double> scalar_out;
+  for (const double v : in) scalar_out.push_back(scalar_dac.convert(v));
+  EXPECT_TRUE(bits_equal(batch_out, scalar_out));
+
+  // Second batch on the same devices: streams must stay aligned.
+  batch_dac.convert(in, batch_out);
+  scalar_out.clear();
+  for (const double v : in) scalar_out.push_back(scalar_dac.convert(v));
+  EXPECT_TRUE(bits_equal(batch_out, scalar_out));
+}
+
+TEST(TwoPassKernels, AdcBatchMatchesScalarExactly) {
+  std::vector<double> in;
+  phot::rng gen(4321);
+  for (int i = 0; i < 130; ++i) in.push_back(gen.uniform() * 1.2 - 0.1);
+
+  phot::converter_config cfg;
+  phot::adc batch_adc(cfg, phot::rng{66});
+  phot::adc scalar_adc(cfg, phot::rng{66});
+  std::vector<double> batch_out(in.size());
+  batch_adc.convert(in, batch_out);
+  std::vector<double> scalar_out;
+  for (const double v : in) scalar_out.push_back(scalar_adc.convert(v));
+  EXPECT_TRUE(bits_equal(batch_out, scalar_out));
+}
+
+TEST(TwoPassKernels, NoiselessConverterBatchMatchesScalar) {
+  phot::converter_config cfg;
+  cfg.enob_penalty = 0.0;  // sigma == 0: quantize-only fast path
+  std::vector<double> in = {0.0, 0.1, 0.5, 0.999, 1.0, -0.5, 1.5};
+  phot::dac batch_dac(cfg, phot::rng{9});
+  phot::dac scalar_dac(cfg, phot::rng{9});
+  std::vector<double> batch_out(in.size());
+  batch_dac.convert(in, batch_out);
+  std::vector<double> scalar_out;
+  for (const double v : in) scalar_out.push_back(scalar_dac.convert(v));
+  EXPECT_TRUE(bits_equal(batch_out, scalar_out));
+}
+
+TEST(TwoPassKernels, DetectorBatchMatchesScalarExactly) {
+  phot::laser_config lcfg;
+  phot::laser source(lcfg, phot::rng{2});
+  phot::waveform wave;
+  source.emit(96, wave);
+
+  phot::photodetector_config dcfg;
+  phot::photodetector batch_det(dcfg, phot::rng{77});
+  phot::photodetector scalar_det(dcfg, phot::rng{77});
+  const std::vector<double> batch_out = batch_det.detect(wave);
+  std::vector<double> scalar_out;
+  for (const phot::field& f : wave) scalar_out.push_back(scalar_det.detect(f));
+  EXPECT_TRUE(bits_equal(batch_out, scalar_out));
+}
+
+// ---------------------------------------------------------------------
+// Batched engine datapath: a single-packet process_batch() is the same
+// computation as process(), payload bit for bit.
+
+TEST(BatchedEngine, SinglePacketBatchMatchesProcessP1) {
+  core::gemv_task task;
+  task.weights = test_matrix(6, 24, 21);
+  task.bias.assign(6, 0.05);
+  std::vector<double> x(24);
+  phot::rng gen(3);
+  for (double& v : x) v = 2.0 * gen.uniform() - 1.0;
+
+  for (const auto mode :
+       {core::compute_mode::on_fiber, core::compute_mode::oeo_per_hop}) {
+    core::engine_config cfg;
+    cfg.mode = mode;
+    core::photonic_engine single(cfg, 42);
+    core::photonic_engine batched(cfg, 42);
+    single.configure_gemv(task);
+    batched.configure_gemv(task);
+
+    const net::ipv4 src(10, 0, 0, 2), dst(10, 0, 1, 2);
+    net::packet a = core::make_gemv_request(src, dst, x, 6, 1);
+    net::packet b = a;
+    ASSERT_TRUE(batched.can_process(b));
+    const core::engine_report ra = single.process(a);
+    net::packet* pb[] = {&b};
+    const core::batch_report rb = batched.process_batch(pb);
+    ASSERT_TRUE(ra.computed);
+    ASSERT_EQ(rb.computed_packets, 1u);
+    EXPECT_TRUE(rb.computed[0]);
+    EXPECT_EQ(ra.compute_latency_s, rb.compute_latency_s);
+    EXPECT_EQ(ra.input_conversions, rb.input_conversions);
+    EXPECT_EQ(ra.optical_symbols, rb.optical_symbols);
+    EXPECT_EQ(a.payload, b.payload);
+  }
+}
+
+TEST(BatchedEngine, SinglePacketBatchMatchesProcessDnn) {
+  core::dnn_task task;
+  core::photonic_layer l0;
+  l0.weights = test_matrix(6, 8, 11);
+  l0.bias.assign(6, 0.1);
+  l0.activation = true;
+  core::photonic_layer l1;
+  l1.weights = test_matrix(4, 6, 12);
+  l1.activation = false;
+  task.layers = {std::move(l0), std::move(l1)};
+
+  std::vector<double> sample(8);
+  phot::rng gen(8);
+  for (double& v : sample) v = gen.uniform();
+
+  core::photonic_engine single({}, 42);
+  core::photonic_engine batched({}, 42);
+  single.configure_dnn(task);
+  batched.configure_dnn(task);
+
+  const net::ipv4 src(10, 0, 0, 2), dst(10, 0, 1, 2);
+  net::packet a = core::make_dnn_request(src, dst, sample, 4, 1);
+  net::packet b = a;
+  ASSERT_TRUE(batched.can_process(b));
+  const core::engine_report ra = single.process(a);
+  net::packet* pb[] = {&b};
+  const core::batch_report rb = batched.process_batch(pb);
+  ASSERT_TRUE(ra.computed);
+  ASSERT_EQ(rb.computed_packets, 1u);
+  EXPECT_EQ(ra.compute_latency_s, rb.compute_latency_s);
+  EXPECT_EQ(a.payload, b.payload);
+}
+
+TEST(BatchedEngine, MultiPacketBatchIsDeterministic) {
+  core::gemv_task task;
+  task.weights = test_matrix(5, 16, 2);
+  std::vector<net::packet> reference;
+  for (int run = 0; run < 2; ++run) {
+    core::photonic_engine engine({}, 42);
+    engine.configure_gemv(task);
+    std::vector<net::packet> pkts;
+    phot::rng gen(6);
+    for (std::uint32_t t = 0; t < 4; ++t) {
+      std::vector<double> x(16);
+      for (double& v : x) v = 2.0 * gen.uniform() - 1.0;
+      pkts.push_back(core::make_gemv_request(net::ipv4(10, 0, 0, 2),
+                                             net::ipv4(10, 0, 1, 2), x, 5,
+                                             t));
+    }
+    std::vector<net::packet*> ptrs;
+    for (net::packet& p : pkts) ptrs.push_back(&p);
+    const core::batch_report r = engine.process_batch(ptrs);
+    EXPECT_EQ(r.computed_packets, 4u);
+    if (run == 0) {
+      reference = std::move(pkts);
+    } else {
+      for (std::size_t i = 0; i < pkts.size(); ++i) {
+        EXPECT_EQ(pkts[i].payload, reference[i].payload) << "packet " << i;
+      }
+    }
+  }
 }
 
 TEST(DatapathDropStats, FlapScenarioBreakdown) {
