@@ -17,6 +17,9 @@
 #include "bench_util.hpp"
 #include "network/fabric.hpp"
 #include "network/topology.hpp"
+#include "obs/exporter.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace onfiber;
 using namespace onfiber::bench;
@@ -125,6 +128,24 @@ int main(int argc, char** argv) {
     report.set("fabric.hooks" + std::to_string(hooked * 100 / 16) +
                    "pct.packets_per_s",
                r.packets_per_s);
+  }
+
+  note("");
+  note("tracing-enabled spot check (16-node chain, 256 B; full obs plane)");
+  {
+    const bool was_enabled = obs::enabled();
+    obs::set_enabled(true);
+    obs::registry::global().reset_values();
+    obs::tracer::global().clear();
+    const sweep_result r = run_chain(16, 256, kPackets, 0);
+    std::printf("  %8s %14.0f %14.0f\n", "traced", r.packets_per_s,
+                r.hops_per_s);
+    report.set("fabric.packets_per_s_traced", r.packets_per_s);
+    obs::exporter::append_flat(
+        [&report](const std::string& key, double value) {
+          report.set(key, value);
+        });
+    obs::set_enabled(was_enabled);
   }
 
   const double speedup = headline / kSeedFig4PacketsPerS;

@@ -21,6 +21,9 @@
 #include "core/compute_packets.hpp"
 #include "core/runtime.hpp"
 #include "digital/dnn.hpp"
+#include "obs/exporter.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace onfiber;
 using namespace onfiber::bench;
@@ -173,9 +176,16 @@ int main(int argc, char** argv) {
   net::drop_stats baseline_drops;
   const flap_outcome seed_path =
       run_flap_scenario(false, data, model, nullptr, &baseline_drops);
+  // The reliable run doubles as the obs plane's showcase: collect every
+  // counter and merge them into the report under obs.* keys.
+  const bool obs_was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  obs::registry::global().reset_values();
+  obs::tracer::global().clear();
   core::onfiber_runtime::reliability_stats rel{};
   const flap_outcome reliable_path =
       run_flap_scenario(true, data, model, &rel, nullptr);
+  obs::set_enabled(obs_was_enabled);
 
   const double seed_rate = 100.0 * seed_path.with_result / kPackets;
   const double rel_rate =
@@ -231,6 +241,10 @@ int main(int argc, char** argv) {
              static_cast<double>(rel.duplicate_deliveries));
   report.set("flap_mean_completion_ms", rel.mean_completion_s() * 1e3);
   report.set("flap_max_completion_ms", rel.max_completion_s * 1e3);
+  obs::exporter::append_flat(
+      [&report](const std::string& key, double value) {
+        report.set(key, value);
+      });
   if (!report.write()) {
     note("WARNING: could not write the JSON report");
   }

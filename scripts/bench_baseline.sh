@@ -33,6 +33,19 @@ for key in fig2a.batch_ns_per_mac table1.batch_inferences_per_s; do
   fi
 done
 
+# The observability plane must have merged its counters into the bench
+# reports (obs.* keys from exporter::append_flat). A missing key means a
+# bench ran with the obs spot-check phase dropped or the plane silently
+# disabled.
+if ! grep -q '"obs\.fabric\.delivered"' "$FABRIC_OUT"; then
+  echo "bench_baseline: missing obs.fabric.delivered in $FABRIC_OUT" >&2
+  exit 1
+fi
+if ! grep -q '"obs\.reliability\.' "$ROBUSTNESS_OUT"; then
+  echo "bench_baseline: missing obs.reliability.* keys in $ROBUSTNESS_OUT" >&2
+  exit 1
+fi
+
 echo
 echo "== $JSON_OUT =="
 cat "$JSON_OUT"

@@ -17,6 +17,12 @@ ctest --preset asan --no-tests=error -R 'DatapathDeterminism|DatapathDropStats|E
 
 ctest --preset asan -j"$(nproc)"
 
+# Observability gate: rerun the determinism and obs suites with the
+# tracing plane forced on. Golden traces must stay bit-identical —
+# instrumentation that perturbs a single timestamp fails here.
+ONFIBER_TRACE=1 ctest --preset asan --no-tests=error \
+  -R 'DatapathDeterminism|Obs' -j"$(nproc)"
+
 # Thread-sanitizer pass over the worker-pool surface: the persistent
 # pool, batched GEMM/engine paths, and the two-pass kernels run under
 # -fsanitize=thread to catch data races the deterministic fold could

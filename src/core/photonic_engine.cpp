@@ -4,12 +4,26 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/scoped_timer.hpp"
 #include "photonics/kernels.hpp"
 #include "protocol/codec.hpp"
 
 namespace onfiber::core {
 
 namespace {
+
+// Lazily resolved wall-clock stage histograms (host-side telemetry;
+// never feeds the simulation).
+obs::histogram& process_wall_hist() {
+  static obs::histogram& h =
+      obs::registry::global().get_histogram("engine.process_wall_s");
+  return h;
+}
+obs::histogram& batch_wall_hist() {
+  static obs::histogram& h =
+      obs::registry::global().get_histogram("engine.batch_wall_s");
+  return h;
+}
 
 /// Writable view of `out_len` result bytes at the header's result offset.
 /// Engines size their own results (the client cannot always know the
@@ -456,6 +470,7 @@ engine_report photonic_engine::run_dnn(const proto::compute_header& h,
 }
 
 engine_report photonic_engine::process(net::packet& pkt) {
+  const obs::scoped_timer timer(process_wall_hist());
   engine_report report;
   auto header = proto::peek_compute_header(pkt);
   if (!header || header->has_result()) return report;
@@ -532,6 +547,7 @@ bool photonic_engine::can_process(const net::packet& pkt) const {
 
 batch_report photonic_engine::process_batch(
     std::span<net::packet* const> pkts) {
+  const obs::scoped_timer timer(batch_wall_hist());
   batch_report out;
   out.computed.assign(pkts.size(), false);
 

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "controller/controller.hpp"
+#include "obs/timeline.hpp"
+#include "obs/trace.hpp"
 
 namespace onfiber::core {
 
@@ -14,6 +16,10 @@ onfiber_runtime::onfiber_runtime(net::simulator& sim, net::topology topo)
       sites_(fabric_.topo().node_count()),
       compute_tables_(fabric_.topo().node_count()) {
   fabric_.install_shortest_path_routes();
+  // Keep route-derived steering state in sync with the routing plane:
+  // every reconvergence (scheduled flaps included) refreshes the
+  // spread-steering first-hop matrix.
+  fabric_.set_reconvergence_callback([this] { rebuild_spread_tables(); });
   const auto n = static_cast<net::node_id>(fabric_.topo().node_count());
   for (net::node_id id = 0; id < n; ++id) {
     fabric_.set_hook(id, [this](net::node_id at, net::packet& pkt,
@@ -25,6 +31,68 @@ onfiber_runtime::onfiber_runtime(net::simulator& sim, net::topology topo)
       [this](const net::packet& pkt, net::node_id at, double t) {
         on_delivery(pkt, at, t);
       });
+
+  obs::registry& reg = obs::registry::global();
+  obs_computed_ = &reg.get_counter("runtime.computed");
+  obs_redirected_ = &reg.get_counter("runtime.redirected");
+  obs_uncomputed_ = &reg.get_counter("runtime.uncomputed_delivered");
+  obs_malformed_ = &reg.get_counter("runtime.malformed_dropped");
+  obs_batch_flushes_ = &reg.get_counter("runtime.batch_flushes");
+  obs_batched_packets_ = &reg.get_counter("runtime.batched_packets");
+  obs_rel_submitted_ = &reg.get_counter("reliability.submitted");
+  obs_rel_completed_ = &reg.get_counter("reliability.completed");
+  obs_rel_failed_ = &reg.get_counter("reliability.failed");
+  obs_rel_retransmits_ = &reg.get_counter("reliability.retransmits");
+  obs_rel_failovers_ = &reg.get_counter("reliability.failovers");
+  obs_rel_acks_ = &reg.get_counter("reliability.acks_sent");
+  obs_rel_duplicates_ = &reg.get_counter("reliability.duplicate_deliveries");
+}
+
+void onfiber_runtime::rebuild_spread_tables() {
+  // Nothing to refresh until install_compute_routes_via_nearest_site()
+  // built the tables in the first place.
+  if (next_hop_toward_.empty()) return;
+  const auto n = static_cast<net::node_id>(fabric_.topo().node_count());
+  for (net::node_id u = 0; u < n; ++u) {
+    for (net::node_id v = 0; v < n; ++v) {
+      next_hop_toward_[u][v] =
+          u == v ? net::invalid_node : fabric_.next_hop_to_node(u, v);
+    }
+  }
+}
+
+void onfiber_runtime::remember_completed(std::uint32_t task_id) {
+  if (completed_history_set_.contains(task_id)) return;
+  if (completed_history_ring_.size() < kCompletedHistory) {
+    completed_history_ring_.push_back(task_id);
+  } else {
+    completed_history_set_.erase(
+        completed_history_ring_[completed_history_next_]);
+    completed_history_ring_[completed_history_next_] = task_id;
+  }
+  completed_history_next_ =
+      (completed_history_next_ + 1) % kCompletedHistory;
+  completed_history_set_.insert(task_id);
+}
+
+void onfiber_runtime::forget_completed(std::uint32_t task_id) {
+  // Legal task-id reuse after completion: the old completion must not
+  // make the new task's deliveries look like duplicates. The stale ring
+  // slot stays behind but is harmless — remember_completed() skips ids
+  // already in the set, and the erase below removes set membership.
+  completed_history_set_.erase(task_id);
+}
+
+void onfiber_runtime::sample_site_timeline(net::node_id at, const site& s,
+                                           double now,
+                                           std::size_t queue_depth) const {
+  obs::site_sample sample;
+  sample.time_s = now;
+  sample.site = at;
+  sample.queue_depth = static_cast<std::uint32_t>(queue_depth);
+  sample.busy_s = s.total_busy_s;
+  sample.utilization = now > 0.0 ? s.total_busy_s / now : 0.0;
+  obs::timeline::global().record(sample);
 }
 
 void onfiber_runtime::on_delivery(const net::packet& pkt, net::node_id at,
@@ -37,18 +105,33 @@ void onfiber_runtime::on_delivery(const net::packet& pkt, net::node_id at,
   }
   if (h && h->requires_compute() && !h->has_result()) {
     ++stats_.uncomputed_delivered;
+    if (obs::enabled()) obs_uncomputed_->add();
   }
   deliveries_.push_back(delivery{pkt, at, now});
 
   if (!reliability_enabled_ || !h) return;
   const auto it = pending_.find(h->task_id);
-  if (it == pending_.end()) return;
+  if (it == pending_.end()) {
+    // The ack already completed this task and erased its entry; a late
+    // retransmit landing now is still a duplicate delivery and must be
+    // counted (it used to silently vanish). Raw arrivals of a compute
+    // task are not duplicates — mirror the in-flight semantics below.
+    if (h->requires_compute() && !h->has_result()) return;
+    if (recently_completed(h->task_id)) {
+      ++reliability_stats_.duplicate_deliveries;
+      if (obs::enabled()) obs_rel_duplicates_->add();
+    }
+    return;
+  }
   pending_task& task = it->second;
   // A task that demanded compute but arrived raw is not done — leave the
   // timer running so the retry (and eventually failover to a capable
   // site) gets another chance at the computation.
   if (h->requires_compute() && !h->has_result()) return;
-  if (task.delivered) ++reliability_stats_.duplicate_deliveries;
+  if (task.delivered) {
+    ++reliability_stats_.duplicate_deliveries;
+    if (obs::enabled()) obs_rel_duplicates_->add();
+  }
   task.delivered = true;
   // Emit the end-to-end ack back to the task source. The ack is a
   // header-only compute packet riding the same fabric, so it shares the
@@ -67,6 +150,7 @@ void onfiber_runtime::on_delivery(const net::packet& pkt, net::node_id at,
   ack.flow_hash = net::flow_hash_of(
       ack.src, ack.dst, 7002, 7003, static_cast<std::uint8_t>(ack.proto));
   ++reliability_stats_.acks_sent;
+  if (obs::enabled()) obs_rel_acks_->add();
   fabric_.send(std::move(ack), at);
 }
 
@@ -101,8 +185,12 @@ std::uint32_t onfiber_runtime::submit_reliable(net::packet pkt,
   task.primitive = h->primitive;
   task.rto_s = reliability_cfg_.initial_rto_s;
   task.submitted_s = sim_.now();
+  // The id is live again: its previous completion (if any) must not make
+  // this task's deliveries look like duplicates.
+  forget_completed(h->task_id);
   const auto [it, inserted] = pending_.emplace(h->task_id, std::move(task));
   ++reliability_stats_.submitted;
+  if (obs::enabled()) obs_rel_submitted_->add();
   trace_.push_back(reliability_event{reliability_event::kind::submit,
                                      h->task_id, sim_.now(),
                                      net::invalid_node});
@@ -133,6 +221,7 @@ void onfiber_runtime::on_timeout(std::uint32_t task_id,
                                        task_id, sim_.now(),
                                        net::invalid_node});
     ++reliability_stats_.failed;
+    if (obs::enabled()) obs_rel_failed_->add();
     pending_.erase(it);
     if (on_task_failed_) on_task_failed_(task_id);
     return;
@@ -164,6 +253,7 @@ void onfiber_runtime::on_timeout(std::uint32_t task_id,
       if (plan && plan->site != task.pinned_site) {
         task.pinned_site = plan->site;
         ++reliability_stats_.failovers;
+        if (obs::enabled()) obs_rel_failovers_->add();
         trace_.push_back(
             reliability_event{reliability_event::kind::failover, task_id,
                               sim_.now(), plan->site});
@@ -172,6 +262,7 @@ void onfiber_runtime::on_timeout(std::uint32_t task_id,
   }
 
   ++reliability_stats_.retransmits;
+  if (obs::enabled()) obs_rel_retransmits_->add();
   trace_.push_back(reliability_event{reliability_event::kind::retransmit,
                                      task_id, sim_.now(),
                                      task.pinned_site});
@@ -182,7 +273,9 @@ void onfiber_runtime::complete_task(std::uint32_t task_id, double now) {
   const auto it = pending_.find(task_id);
   if (it == pending_.end()) return;  // duplicate ack
   const double latency = now - it->second.submitted_s;
+  remember_completed(task_id);
   ++reliability_stats_.completed;
+  if (obs::enabled()) obs_rel_completed_->add();
   reliability_stats_.total_completion_s += latency;
   if (latency > reliability_stats_.max_completion_s) {
     reliability_stats_.max_completion_s = latency;
@@ -337,10 +430,26 @@ void onfiber_runtime::flush_site_batch(net::node_id at) {
   s.busy_until_s = done;
   s.total_busy_s += service;
 
+  const bool tracing = obs::enabled();
+  if (tracing) {
+    obs_batch_flushes_->add();
+    obs_batched_packets_->add(batch.size());
+    sample_site_timeline(at, s, now, batch.size());
+  }
   for (std::size_t i = 0; i < batch.size(); ++i) {
     if (report.computed[i]) {
       ++stats_.computed;
       ++s.computed;
+      if (tracing) {
+        obs_computed_->add();
+        obs::hop_record r;
+        r.trace_id = batch[i].trace_id;
+        r.node = at;
+        r.time_s = now;
+        r.action = obs::hop_action::batch;
+        r.aux = static_cast<std::uint32_t>(batch.size());
+        obs::tracer::global().record(r);
+      }
       sim_.schedule_packet_at(done, std::move(batch[i]), at,
                               net::wan_fabric::op_inject, &fabric_);
     } else {
@@ -348,6 +457,7 @@ void onfiber_runtime::flush_site_batch(net::node_id at) {
       // the batched engine still refused is dropped and counted rather
       // than silently lost.
       ++stats_.malformed_dropped;
+      if (tracing) obs_malformed_->add();
     }
   }
 }
@@ -360,6 +470,7 @@ net::hook_decision onfiber_runtime::on_packet(net::node_id at,
   const auto header = proto::peek_compute_header(pkt);
   if (!header) {
     ++stats_.malformed_dropped;
+    if (obs::enabled()) obs_malformed_->add();
     return net::hook_decision{net::hook_decision::action_type::drop,
                               net::invalid_node};
   }
@@ -393,6 +504,16 @@ net::hook_decision onfiber_runtime::on_packet(net::node_id at,
       const double done = start + service;
       s.busy_until_s = done;
       s.total_busy_s += service;
+      if (obs::enabled()) {
+        obs_computed_->add();
+        obs::hop_record r;
+        r.trace_id = pkt.trace_id;
+        r.node = at;
+        r.time_s = now;
+        r.action = obs::hop_action::compute;
+        obs::tracer::global().record(r);
+        sample_site_timeline(at, s, now, s.batch_queue.size());
+      }
       // Hold the packet until the analog evaluation finishes, then let it
       // continue toward its destination (it now carries the result). The
       // consume decision lets us steal the packet; op_inject re-enters it
@@ -420,6 +541,7 @@ net::hook_decision onfiber_runtime::on_packet(net::node_id at,
           at, fabric_.topo().node_at(it->second.pinned_site).address);
       if (hop && *hop != at) {
         ++stats_.redirected;
+        if (obs::enabled()) obs_redirected_->add();
         return net::hook_decision{net::hook_decision::action_type::redirect,
                                   *hop};
       }
@@ -440,6 +562,7 @@ net::hook_decision onfiber_runtime::on_packet(net::node_id at,
           target == at ? net::invalid_node : next_hop_toward_[at][target];
       if (hop != net::invalid_node) {
         ++stats_.redirected;
+        if (obs::enabled()) obs_redirected_->add();
         return net::hook_decision{net::hook_decision::action_type::redirect,
                                   hop};
       }
@@ -450,6 +573,7 @@ net::hook_decision onfiber_runtime::on_packet(net::node_id at,
   const auto next = compute_tables_[at].lookup(pkt.dst, header->primitive);
   if (next) {
     ++stats_.redirected;
+    if (obs::enabled()) obs_redirected_->add();
     return net::hook_decision{net::hook_decision::action_type::redirect,
                               *next};
   }

@@ -18,10 +18,12 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/photonic_engine.hpp"
 #include "network/fabric.hpp"
+#include "obs/metrics.hpp"
 #include "protocol/compute_routing.hpp"
 
 namespace onfiber::core {
@@ -167,8 +169,10 @@ class onfiber_runtime {
   /// Called once per task that exhausts its retries (terminal failure).
   using task_failure_fn = std::function<void(std::uint32_t task_id)>;
 
-  /// Turn the reliability layer on (idempotent; reconfigures timers for
-  /// tasks submitted afterwards).
+  /// Turn the reliability layer on (idempotent). The config applies
+  /// live: initial_rto_s seeds the timer of tasks submitted afterwards,
+  /// while backoff / max_retries / failover_after are read at each
+  /// timeout, so reconfiguring also governs tasks already in flight.
   void enable_reliability(reliability_config cfg);
   void enable_reliability() { enable_reliability(reliability_config{}); }
   [[nodiscard]] bool reliability_enabled() const {
@@ -221,6 +225,14 @@ class onfiber_runtime {
 
   net::hook_decision on_packet(net::node_id at, net::packet& pkt, double now);
 
+  /// Refresh the spread-steering first-hop matrix from the fabric's
+  /// converged flat route cache. Registered as the fabric's
+  /// reconvergence callback so flow_spread redirects follow reconverged
+  /// routes instead of chasing install-time first hops into downed
+  /// links. The compute tables deliberately stay as installed — only the
+  /// route-derived first hops are refreshed.
+  void rebuild_spread_tables();
+
   /// Run the queued batch at a site: one process_batch() call, one site
   /// overhead charge, then every computed packet re-enters the fabric
   /// when the shared analog evaluation finishes.
@@ -230,6 +242,19 @@ class onfiber_runtime {
   void send_tracked(pending_task& task, std::uint32_t task_id);
   void on_timeout(std::uint32_t task_id, std::uint64_t generation);
   void complete_task(std::uint32_t task_id, double now);
+
+  /// Bounded memory of completed task ids, so duplicate deliveries from
+  /// retransmits that land *after* the ack erased the pending entry are
+  /// still counted (they used to vanish from duplicate_deliveries).
+  void remember_completed(std::uint32_t task_id);
+  [[nodiscard]] bool recently_completed(std::uint32_t task_id) const {
+    return completed_history_set_.contains(task_id);
+  }
+  void forget_completed(std::uint32_t task_id);
+
+  /// Record one site utilization/queue-depth sample (tracing only).
+  void sample_site_timeline(net::node_id at, const site& s, double now,
+                            std::size_t queue_depth) const;
 
   /// Per-packet fixed overhead at a compute site: optical preamble
   /// detection (17 symbols on the P2 matcher) + result insertion.
@@ -259,6 +284,31 @@ class onfiber_runtime {
   std::unordered_map<std::uint32_t, pending_task> pending_;
   std::vector<reliability_event> trace_;
   task_failure_fn on_task_failed_;
+
+  /// Recently completed task ids (ring + membership set, capped at
+  /// kCompletedHistory): the duplicate-delivery accounting above.
+  static constexpr std::size_t kCompletedHistory = 1024;
+  std::vector<std::uint32_t> completed_history_ring_;
+  std::size_t completed_history_next_ = 0;
+  std::unordered_set<std::uint32_t> completed_history_set_;
+
+  // Observability handles (resolved once in the constructor; incremented
+  // only while obs::enabled()). Mirror runtime_stats /
+  // reliability_stats so the obs plane can be cross-checked against the
+  // legacy counters.
+  obs::counter* obs_computed_ = nullptr;
+  obs::counter* obs_redirected_ = nullptr;
+  obs::counter* obs_uncomputed_ = nullptr;
+  obs::counter* obs_malformed_ = nullptr;
+  obs::counter* obs_batch_flushes_ = nullptr;
+  obs::counter* obs_batched_packets_ = nullptr;
+  obs::counter* obs_rel_submitted_ = nullptr;
+  obs::counter* obs_rel_completed_ = nullptr;
+  obs::counter* obs_rel_failed_ = nullptr;
+  obs::counter* obs_rel_retransmits_ = nullptr;
+  obs::counter* obs_rel_failovers_ = nullptr;
+  obs::counter* obs_rel_acks_ = nullptr;
+  obs::counter* obs_rel_duplicates_ = nullptr;
 };
 
 }  // namespace onfiber::core

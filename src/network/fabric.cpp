@@ -1,7 +1,10 @@
 #include "network/fabric.hpp"
 
+#include <algorithm>
 #include <array>
 #include <stdexcept>
+
+#include "obs/trace.hpp"
 
 namespace onfiber::net {
 
@@ -31,6 +34,30 @@ wan_fabric::wan_fabric(simulator& sim, topology topo)
       if (slot == no_link) slot = static_cast<std::uint32_t>(li);
     }
   }
+
+  obs::registry& reg = obs::registry::global();
+  obs_delivered_ = &reg.get_counter("fabric.delivered");
+  obs_hops_ = &reg.get_counter("fabric.hops");
+  obs_corrupted_ = &reg.get_counter("fabric.corrupted");
+  obs_reconvergences_ = &reg.get_counter("fabric.reconvergences");
+  obs_drops_[0] = &reg.get_counter("fabric.drop.ttl_expired");
+  obs_drops_[1] = &reg.get_counter("fabric.drop.link_down");
+  obs_drops_[2] = &reg.get_counter("fabric.drop.no_route");
+  obs_drops_[3] = &reg.get_counter("fabric.drop.hook_drop");
+  obs_drops_[4] = &reg.get_counter("fabric.drop.bad_redirect");
+}
+
+void wan_fabric::trace_hop(const packet& pkt, node_id at,
+                           obs::hop_action action, obs::drop_reason reason,
+                           std::uint32_t aux) {
+  obs::hop_record r;
+  r.trace_id = pkt.trace_id;
+  r.node = at;
+  r.time_s = sim_.now();
+  r.action = action;
+  r.reason = reason;
+  r.aux = aux;
+  obs::tracer::global().record(r);
 }
 
 void wan_fabric::install_shortest_path_routes() {
@@ -52,6 +79,10 @@ void wan_fabric::install_shortest_path_routes() {
       flat.link = egress_matrix_[src * n + path[1]];
     }
   }
+  if (obs::enabled()) obs_reconvergences_->add();
+  // Let route-derived state upstairs (spread-steering tables) follow the
+  // reconverged plane instead of chasing pre-flap first hops.
+  if (on_reconverge_) on_reconverge_();
 }
 
 void wan_fabric::fail_link(std::size_t link_index) {
@@ -105,6 +136,12 @@ std::optional<node_id> wan_fabric::next_hop(node_id at, ipv4 dst) const {
   return entry->next;
 }
 
+node_id wan_fabric::next_hop_to_node(node_id at, node_id dest) const {
+  const std::size_t n = topo_.node_count();
+  if (at >= n || dest >= n || at == dest) return invalid_node;
+  return flat_routes_[at * n + dest].next;
+}
+
 void wan_fabric::set_hook(node_id at, hook_fn hook) {
   if (at >= hooks_.size()) throw std::out_of_range("wan_fabric: bad node");
   hooks_[at] = std::move(hook);
@@ -113,6 +150,13 @@ void wan_fabric::set_hook(node_id at, hook_fn hook) {
 void wan_fabric::send(packet pkt, node_id ingress) {
   if (ingress >= topo_.node_count()) {
     throw std::out_of_range("wan_fabric: bad ingress node");
+  }
+  if (obs::enabled()) {
+    if (pkt.trace_id == 0) {
+      pkt.trace_id = obs::tracer::global().next_trace_id();
+    }
+    trace_hop(pkt, ingress, obs::hop_action::inject, obs::drop_reason::none,
+              0);
   }
   sim_.schedule_packet(0.0, std::move(pkt), ingress, op_arrive, this);
 }
@@ -144,10 +188,31 @@ void wan_fabric::apply_bit_errors(packet& pkt) {
   // A high-BER draw can exceed the payload's bit count; flipping more
   // than every bit once is meaningless, so clamp.
   if (flips > bit_count) flips = bit_count;
-  ++corrupted_;
+  flip_scratch_.clear();
   for (std::uint64_t i = 0; i < flips; ++i) {
     const std::uint64_t bit = error_gen_.below(bit_count);
     pkt.payload[bit / 8] ^= static_cast<std::uint8_t>(1U << (bit % 8));
+    flip_scratch_.push_back(bit);
+  }
+  // Positions are drawn with replacement, so the same bit flipped an even
+  // number of times cancels out. Count the packet as corrupted only if
+  // some bit's net parity actually changed.
+  std::sort(flip_scratch_.begin(), flip_scratch_.end());
+  bool net_change = false;
+  for (std::size_t i = 0; i < flip_scratch_.size();) {
+    std::size_t j = i;
+    while (j < flip_scratch_.size() && flip_scratch_[j] == flip_scratch_[i]) {
+      ++j;
+    }
+    if (((j - i) & 1U) != 0) {
+      net_change = true;
+      break;
+    }
+    i = j;
+  }
+  if (net_change) {
+    ++corrupted_;
+    if (obs::enabled()) obs_corrupted_->add();
   }
 }
 
@@ -180,6 +245,11 @@ void wan_fabric::forward_on(packet pkt, node_id from, node_id next,
   if (!link_up_[li]) {
     // Black-holed until routing reconverges.
     ++drops_.link_down;
+    if (obs::enabled()) {
+      obs_drops_[1]->add();
+      trace_hop(pkt, from, obs::hop_action::drop, obs::drop_reason::link_down,
+                static_cast<std::uint32_t>(li));
+    }
     pool_.recycle(std::move(pkt));
     return;
   }
@@ -199,6 +269,11 @@ void wan_fabric::forward_on(packet pkt, node_id from, node_id next,
 
   const double arrival = done + l.delay_s();
   apply_bit_errors(pkt);
+  if (obs::enabled()) {
+    obs_hops_->add();
+    trace_hop(pkt, from, obs::hop_action::forward, obs::drop_reason::none,
+              next);
+  }
   sim_.schedule_packet_at(arrival, std::move(pkt), next, op_arrive, this);
 }
 
@@ -212,21 +287,40 @@ void wan_fabric::arrive(packet pkt, node_id at) {
         return;
       case hook_decision::action_type::drop:
         ++drops_.hook_drop;
+        if (obs::enabled()) {
+          obs_drops_[3]->add();
+          trace_hop(pkt, at, obs::hop_action::drop,
+                    obs::drop_reason::hook_drop, 0);
+        }
         pool_.recycle(std::move(pkt));
         return;
       case hook_decision::action_type::redirect:
         if (d.redirect_to == invalid_node ||
             d.redirect_to >= topo_.node_count()) {
           ++drops_.bad_redirect;
+          if (obs::enabled()) {
+            obs_drops_[4]->add();
+            trace_hop(pkt, at, obs::hop_action::drop,
+                      obs::drop_reason::bad_redirect, 0);
+          }
           pool_.recycle(std::move(pkt));
           return;
         }
         if (pkt.ttl == 0) {
           ++drops_.ttl_expired;
+          if (obs::enabled()) {
+            obs_drops_[0]->add();
+            trace_hop(pkt, at, obs::hop_action::drop,
+                      obs::drop_reason::ttl_expired, 0);
+          }
           pool_.recycle(std::move(pkt));
           return;
         }
         --pkt.ttl;
+        if (obs::enabled()) {
+          trace_hop(pkt, at, obs::hop_action::redirect,
+                    obs::drop_reason::none, d.redirect_to);
+        }
         forward_to(std::move(pkt), at, d.redirect_to);
         return;
       case hook_decision::action_type::continue_forwarding:
@@ -237,6 +331,10 @@ void wan_fabric::arrive(packet pkt, node_id at) {
   // Local delivery?
   if (topo_.node_at(at).attached_prefix.contains(pkt.dst)) {
     ++delivered_;
+    if (obs::enabled()) {
+      obs_delivered_->add();
+      trace_hop(pkt, at, obs::hop_action::deliver, obs::drop_reason::none, 0);
+    }
     if (on_deliver_) on_deliver_(pkt, at, sim_.now());
     pool_.recycle(std::move(pkt));
     return;
@@ -251,6 +349,11 @@ void wan_fabric::arrive(packet pkt, node_id at) {
     if (flat.next != invalid_node) {
       if (pkt.ttl == 0) {
         ++drops_.ttl_expired;
+        if (obs::enabled()) {
+          obs_drops_[0]->add();
+          trace_hop(pkt, at, obs::hop_action::drop,
+                    obs::drop_reason::ttl_expired, 0);
+        }
         pool_.recycle(std::move(pkt));
         return;
       }
@@ -262,11 +365,21 @@ void wan_fabric::arrive(packet pkt, node_id at) {
   const route_entry* entry = tables_[at].lookup_ptr(pkt.dst);
   if (entry == nullptr) {
     ++drops_.no_route;
+    if (obs::enabled()) {
+      obs_drops_[2]->add();
+      trace_hop(pkt, at, obs::hop_action::drop, obs::drop_reason::no_route,
+                0);
+    }
     pool_.recycle(std::move(pkt));
     return;
   }
   if (pkt.ttl == 0) {
     ++drops_.ttl_expired;
+    if (obs::enabled()) {
+      obs_drops_[0]->add();
+      trace_hop(pkt, at, obs::hop_action::drop, obs::drop_reason::ttl_expired,
+                0);
+    }
     pool_.recycle(std::move(pkt));
     return;
   }

@@ -26,6 +26,8 @@
 #include "network/packet.hpp"
 #include "network/routing.hpp"
 #include "network/topology.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "photonics/rng.hpp"
 
 namespace onfiber::net {
@@ -103,6 +105,16 @@ class wan_fabric final : public packet_event_sink {
   [[nodiscard]] std::uint64_t reconvergences() const {
     return reconvergences_;
   }
+
+  /// Called synchronously at the end of every
+  /// install_shortest_path_routes() — scheduled-flap reconvergences and
+  /// manual reinstallation alike — so higher layers can refresh state
+  /// they derived from the routing plane (the runtime rebuilds its
+  /// spread-steering tables here; see ISSUE 5's stale-steering fix).
+  using reconvergence_fn = std::function<void()>;
+  void set_reconvergence_callback(reconvergence_fn cb) {
+    on_reconverge_ = std::move(cb);
+  }
   [[nodiscard]] bool link_is_up(std::size_t link_index) const {
     return link_up_.at(link_index);
   }
@@ -137,6 +149,13 @@ class wan_fabric final : public packet_event_sink {
   /// layer's failover steering — follow the same converged routes the
   /// data plane uses instead of a stale private copy.
   [[nodiscard]] std::optional<node_id> next_hop(node_id at, ipv4 dst) const;
+
+  /// Converged next hop from `at` toward destination *node* `dest`, from
+  /// the flat post-convergence route cache (invalid_node when
+  /// unreachable or out of range). Reflects exactly the routes the data
+  /// plane forwards on — including staleness inside a flap's
+  /// reconvergence window.
+  [[nodiscard]] node_id next_hop_to_node(node_id at, node_id dest) const;
 
   /// Typed packet-hop dispatch (packet_event_sink). Not for direct use;
   /// public only because the runtime schedules held packets back through
@@ -184,11 +203,16 @@ class wan_fabric final : public packet_event_sink {
   /// attached prefix covers dst.
   [[nodiscard]] node_id resolve_dest(packet& pkt) const;
 
+  /// Record one lifecycle hop for `pkt` (tracing enabled only).
+  void trace_hop(const packet& pkt, node_id at, obs::hop_action action,
+                 obs::drop_reason reason, std::uint32_t aux);
+
   simulator& sim_;
   topology topo_;
   std::vector<routing_table<route_entry>> tables_;  // one per node
   std::vector<hook_fn> hooks_;                      // one per node (may be null)
   deliver_fn on_deliver_;
+  reconvergence_fn on_reconverge_;
 
   /// attached_prefix -> owning node, for dest_hint resolution (built
   /// once; topology is immutable).
@@ -212,11 +236,21 @@ class wan_fabric final : public packet_event_sink {
   double bit_error_rate_ = 0.0;
   phot::rng error_gen_{0};
   std::uint64_t corrupted_ = 0;
+  std::vector<std::uint64_t> flip_scratch_;  ///< bit positions of one draw
   std::vector<bool> link_up_;
 
   std::uint64_t delivered_ = 0;
   drop_stats drops_;
   std::uint64_t reconvergences_ = 0;
+
+  // Observability handles (resolved once; incremented only while
+  // obs::enabled()). Mirrors delivered_/drops_/corrupted_ so the obs
+  // plane can be cross-checked against the legacy counters.
+  obs::counter* obs_delivered_ = nullptr;
+  obs::counter* obs_hops_ = nullptr;
+  obs::counter* obs_corrupted_ = nullptr;
+  obs::counter* obs_reconvergences_ = nullptr;
+  std::array<obs::counter*, 5> obs_drops_{};  // indexed like drop_reason-1
 };
 
 }  // namespace onfiber::net

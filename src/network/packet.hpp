@@ -40,6 +40,12 @@ struct packet {
   /// use, so a hook that rewrites dst just falls back to the slow path).
   std::uint32_t dest_hint = ~std::uint32_t{0};
 
+  /// Packet-lifecycle trace key (obs::tracer): assigned by the fabric on
+  /// first injection while tracing is enabled, 0 otherwise. Copies made
+  /// for retransmission start at 0 again, so every transmission gets its
+  /// own per-hop record chain.
+  std::uint32_t trace_id = 0;
+
   /// Serialized size on the wire [bytes]: 20-byte IP header + payload.
   [[nodiscard]] std::size_t wire_bytes() const {
     return 20 + payload.size();

@@ -14,7 +14,7 @@ class summary {
  public:
   void add(double x) {
     samples_.push_back(x);
-    sorted_ = false;
+    sorted_dirty_ = true;
   }
 
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
@@ -35,13 +35,11 @@ class summary {
   }
 
   [[nodiscard]] double min() const {
-    ensure_sorted();
-    return samples_.empty() ? 0.0 : samples_.front();
+    return samples_.empty() ? 0.0 : sorted().front();
   }
 
   [[nodiscard]] double max() const {
-    ensure_sorted();
-    return samples_.empty() ? 0.0 : samples_.back();
+    return samples_.empty() ? 0.0 : sorted().back();
   }
 
   /// Percentile in [0, 100] by nearest-rank on the sorted samples.
@@ -50,28 +48,35 @@ class summary {
     if (pct < 0.0 || pct > 100.0) {
       throw std::invalid_argument("summary: percentile out of range");
     }
-    ensure_sorted();
+    const std::vector<double>& s = sorted();
     const auto rank = static_cast<std::size_t>(
-        std::ceil(pct / 100.0 * static_cast<double>(samples_.size())));
+        std::ceil(pct / 100.0 * static_cast<double>(s.size())));
     const std::size_t idx = rank == 0 ? 0 : rank - 1;
-    return samples_[std::min(idx, samples_.size() - 1)];
+    return s[std::min(idx, s.size() - 1)];
   }
 
+  /// The samples in insertion order — guaranteed: order statistics work
+  /// on a lazily sorted scratch copy, so calling percentile()/min()/max()
+  /// never reorders what this returns.
   [[nodiscard]] const std::vector<double>& samples() const {
-    ensure_sorted();
     return samples_;
   }
 
  private:
-  void ensure_sorted() const {
-    if (!sorted_) {
-      std::sort(samples_.begin(), samples_.end());
-      sorted_ = true;
+  /// Lazily sorted scratch copy; rebuilt after adds, never touching the
+  /// insertion-ordered samples_.
+  const std::vector<double>& sorted() const {
+    if (sorted_dirty_) {
+      sorted_scratch_ = samples_;
+      std::sort(sorted_scratch_.begin(), sorted_scratch_.end());
+      sorted_dirty_ = false;
     }
+    return sorted_scratch_;
   }
 
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = true;
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_scratch_;
+  mutable bool sorted_dirty_ = false;
 };
 
 /// Jain's fairness index of a load vector: (sum x)^2 / (n * sum x^2).

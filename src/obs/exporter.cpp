@@ -1,0 +1,94 @@
+#include "obs/exporter.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+#include "obs/trace.hpp"
+
+namespace onfiber::obs {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string exporter::metrics_json() {
+  std::ostringstream out;
+  out << "{\n";
+  const char* sep = "";
+  registry::global().visit_flat(
+      [&out, &sep](const std::string& name, double value) {
+        out << sep << "  \"" << name << "\": " << fmt_double(value);
+        sep = ",\n";
+      });
+  out << "\n}\n";
+  return out.str();
+}
+
+std::string exporter::metrics_csv() {
+  std::ostringstream out;
+  out << "name,kind,value\n";
+  registry::global().visit_flat(
+      [&out](const std::string& name, double value) {
+        out << name << ",metric," << fmt_double(value) << "\n";
+      });
+  registry::global().visit_histograms(
+      [&out](const std::string& name, const histogram& h) {
+        for (int i = 0; i < histogram::kBuckets; ++i) {
+          const std::uint64_t n = h.bucket(i);
+          if (n == 0) continue;
+          out << name << ",bucket_le_"
+              << fmt_double(histogram::bucket_upper_bound(i)) << "," << n
+              << "\n";
+        }
+      });
+  return out.str();
+}
+
+std::string exporter::trace_csv() {
+  std::ostringstream out;
+  out << "trace_id,time_s,node,action,reason,aux\n";
+  for (const hop_record& r : tracer::global().snapshot()) {
+    out << r.trace_id << "," << fmt_double(r.time_s) << "," << r.node << ","
+        << to_string(r.action) << "," << to_string(r.reason) << "," << r.aux
+        << "\n";
+  }
+  return out.str();
+}
+
+std::string exporter::timeline_csv() {
+  std::ostringstream out;
+  out << "time_s,site,queue_depth,busy_s,utilization\n";
+  for (const site_sample& s : timeline::global().snapshot()) {
+    out << fmt_double(s.time_s) << "," << s.site << "," << s.queue_depth
+        << "," << fmt_double(s.busy_s) << "," << fmt_double(s.utilization)
+        << "\n";
+  }
+  return out.str();
+}
+
+void exporter::append_flat(
+    const std::function<void(const std::string&, double)>& set,
+    const std::string& prefix) {
+  registry::global().visit_flat(
+      [&set, &prefix](const std::string& name, double value) {
+        set(prefix + name, value);
+      });
+}
+
+bool exporter::write_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << body;
+  return static_cast<bool>(out);
+}
+
+}  // namespace onfiber::obs

@@ -1,0 +1,45 @@
+// exporter.hpp — serialize the observability plane for consumers.
+//
+// One exporter feeds every consumer: bench binaries merge the flat
+// metric view into their BENCH_*.json reports via append_flat (keys
+// prefixed "obs."), tools/onfiber_trace dumps JSON/CSV files, and tests
+// assert on the same strings. All output orders are deterministic
+// (sorted metric names, ring order for traces).
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace onfiber::obs {
+
+class exporter {
+ public:
+  /// Flat {"name": value} JSON of every registered metric (histograms
+  /// as .count/.sum/.mean/.max), sorted by name.
+  [[nodiscard]] static std::string metrics_json();
+
+  /// CSV of every metric: name,kind,value — histogram rows expand to
+  /// their aggregate values plus non-empty buckets
+  /// (name,bucket,upper_bound_s,count).
+  [[nodiscard]] static std::string metrics_csv();
+
+  /// CSV of the retained hop records:
+  /// trace_id,time_s,node,action,reason,aux — oldest to newest.
+  [[nodiscard]] static std::string trace_csv();
+
+  /// CSV of the retained site samples:
+  /// time_s,site,queue_depth,busy_s,utilization.
+  [[nodiscard]] static std::string timeline_csv();
+
+  /// Push every metric into a key/value sink (a bench json_report's
+  /// set()), each name prefixed — the "new keys in BENCH_*.json" path.
+  static void append_flat(
+      const std::function<void(const std::string&, double)>& set,
+      const std::string& prefix = "obs.");
+
+  /// Write `body` to `path`. Returns false when the file cannot be
+  /// opened.
+  static bool write_file(const std::string& path, const std::string& body);
+};
+
+}  // namespace onfiber::obs

@@ -1,0 +1,123 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace onfiber::obs {
+
+namespace detail {
+
+namespace {
+bool env_enabled() {
+  const char* e = std::getenv("ONFIBER_TRACE");
+  return e != nullptr && *e != '\0' && !(e[0] == '0' && e[1] == '\0');
+}
+}  // namespace
+
+std::atomic<bool> g_enabled{env_enabled()};
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void histogram::observe(double x) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Relaxed CAS loops: contention is negligible (observations come from
+  // a handful of instrumented stages), and exact sums beat sharding.
+  double prev = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(prev, prev + x,
+                                     std::memory_order_relaxed)) {
+  }
+  double m = max_.load(std::memory_order_relaxed);
+  while (x > m &&
+         !max_.compare_exchange_weak(m, x, std::memory_order_relaxed)) {
+  }
+  int idx = 0;
+  if (x > 0.0 && std::isfinite(x)) {
+    int e = 0;
+    std::frexp(x, &e);  // x = f * 2^e, f in [0.5, 1)
+    idx = e - kMinExponent;
+    if (idx < 0) idx = 0;
+    if (idx >= kBuckets) idx = kBuckets - 1;
+  }
+  buckets_[static_cast<std::size_t>(idx)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+double histogram::bucket_upper_bound(int i) {
+  return std::ldexp(1.0, kMinExponent + i);
+}
+
+void histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+registry& registry::global() {
+  static registry r;
+  return r;
+}
+
+counter& registry::get_counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(m_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+gauge& registry::get_gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(m_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<gauge>()).first;
+  }
+  return *it->second;
+}
+
+histogram& registry::get_histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(m_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void registry::visit_flat(
+    const std::function<void(const std::string&, double)>& fn) const {
+  std::lock_guard<std::mutex> lock(m_);
+  for (const auto& [name, c] : counters_) {
+    fn(name, static_cast<double>(c->value()));
+  }
+  for (const auto& [name, g] : gauges_) fn(name, g->value());
+  for (const auto& [name, h] : histograms_) {
+    fn(name + ".count", static_cast<double>(h->count()));
+    fn(name + ".sum", h->sum());
+    fn(name + ".mean", h->mean());
+    fn(name + ".max", h->max());
+  }
+}
+
+void registry::visit_histograms(
+    const std::function<void(const std::string&, const histogram&)>& fn)
+    const {
+  std::lock_guard<std::mutex> lock(m_);
+  for (const auto& [name, h] : histograms_) fn(name, *h);
+}
+
+void registry::reset_values() {
+  std::lock_guard<std::mutex> lock(m_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace onfiber::obs

@@ -1,0 +1,150 @@
+// metrics.hpp — process-wide observability registry: named counters,
+// gauges and fixed-bucket histograms.
+//
+// The paper's §4 controller "collects telemetry from the transponders";
+// this registry is the in-process half of that telemetry plane. Design
+// constraints, in order:
+//
+//   * off by default, near-zero overhead: every instrumentation site is
+//     guarded by obs::enabled() — a single relaxed atomic load — and
+//     increments are relaxed atomic adds. Nothing here ever touches the
+//     discrete-event simulator, its RNG streams, or its event ordering,
+//     so golden delivery traces are bit-identical with tracing on or off
+//     (tests/test_obs.cpp pins that).
+//   * no allocation on the hot path: handles are resolved once (registry
+//     lookups allocate only on first use) and cached as raw pointers;
+//     histograms use a fixed power-of-two bucket ladder.
+//   * stable handles: reset_values() zeroes every metric but never
+//     removes one, so cached pointers stay valid for the process
+//     lifetime (benches reset between phases).
+//
+// Enabling: set the ONFIBER_TRACE environment variable (anything but
+// "0") before process start, or call obs::set_enabled(true) at runtime.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace onfiber::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;  // initialized from ONFIBER_TRACE
+}  // namespace detail
+
+/// Is the observability plane collecting? Cheap enough to call per hop.
+[[nodiscard]] inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turn collection on/off at runtime (overrides ONFIBER_TRACE).
+void set_enabled(bool on);
+
+/// Monotonic event counter (relaxed; safe from any thread).
+class counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class gauge {
+ public:
+  void set(double x) { v_.store(x, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram over positive values (latencies in seconds are
+/// the intended use). Buckets are a power-of-two ladder: observation x
+/// lands in the bucket of its binary exponent, covering ~2^-44 s (.06 fs)
+/// to ~2^19 s with no per-observation allocation. count/sum/max give
+/// exact aggregates; the buckets give the shape.
+class histogram {
+ public:
+  static constexpr int kBuckets = 64;
+  static constexpr int kMinExponent = -44;  ///< bucket 0: x < 2^-44
+
+  void observe(double x);
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double max() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const {
+    const std::uint64_t n = count();
+    return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+  }
+  [[nodiscard]] std::uint64_t bucket(int i) const {
+    return buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
+  /// Inclusive upper bound of bucket i (the ladder edge), in the
+  /// observed unit.
+  [[nodiscard]] static double bucket_upper_bound(int i);
+
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// The process-wide name -> metric table. get_* creates on first use and
+/// returns a reference that stays valid forever (node-based storage;
+/// reset_values() only zeroes). Lookups take a mutex — resolve handles
+/// once at construction time, not per event.
+class registry {
+ public:
+  [[nodiscard]] static registry& global();
+
+  counter& get_counter(std::string_view name);
+  gauge& get_gauge(std::string_view name);
+  histogram& get_histogram(std::string_view name);
+
+  /// Flatten every metric to (name, value) pairs in sorted-name order:
+  /// counters and gauges as themselves, histograms as name.count /
+  /// name.sum / name.mean / name.max. Deterministic order for exporters.
+  void visit_flat(
+      const std::function<void(const std::string&, double)>& fn) const;
+
+  /// Visit histograms (sorted by name) for bucket-level exporters.
+  void visit_histograms(
+      const std::function<void(const std::string&, const histogram&)>& fn)
+      const;
+
+  /// Zero every metric, keeping all handles valid.
+  void reset_values();
+
+ private:
+  mutable std::mutex m_;
+  std::map<std::string, std::unique_ptr<counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<histogram>, std::less<>> histograms_;
+};
+
+}  // namespace onfiber::obs

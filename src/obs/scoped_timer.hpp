@@ -1,0 +1,42 @@
+// scoped_timer.hpp — RAII wall-clock timer recording into a histogram.
+//
+// Wraps a kernel or engine stage: construction snapshots the steady
+// clock, destruction observes the elapsed seconds. When the
+// observability plane is disabled (the default) the constructor is a
+// single relaxed load and the destructor a branch — no clock reads, no
+// histogram traffic. Wall time is host-side telemetry only; it never
+// feeds back into the simulation, so determinism is untouched.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace onfiber::obs {
+
+class scoped_timer {
+ public:
+  explicit scoped_timer(histogram& h) {
+    if (enabled()) {
+      h_ = &h;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  scoped_timer(const scoped_timer&) = delete;
+  scoped_timer& operator=(const scoped_timer&) = delete;
+
+  ~scoped_timer() {
+    if (h_ != nullptr) {
+      h_->observe(std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count());
+    }
+  }
+
+ private:
+  histogram* h_ = nullptr;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace onfiber::obs

@@ -1,0 +1,100 @@
+#include "obs/trace.hpp"
+
+namespace onfiber::obs {
+
+const char* to_string(hop_action a) {
+  switch (a) {
+    case hop_action::inject: return "inject";
+    case hop_action::forward: return "forward";
+    case hop_action::redirect: return "redirect";
+    case hop_action::compute: return "compute";
+    case hop_action::batch: return "batch";
+    case hop_action::deliver: return "deliver";
+    case hop_action::drop: return "drop";
+  }
+  return "?";
+}
+
+const char* to_string(drop_reason r) {
+  switch (r) {
+    case drop_reason::none: return "none";
+    case drop_reason::ttl_expired: return "ttl_expired";
+    case drop_reason::link_down: return "link_down";
+    case drop_reason::no_route: return "no_route";
+    case drop_reason::hook_drop: return "hook_drop";
+    case drop_reason::bad_redirect: return "bad_redirect";
+  }
+  return "?";
+}
+
+tracer& tracer::global() {
+  static tracer t;
+  return t;
+}
+
+void tracer::set_capacity(std::size_t n) {
+  std::lock_guard<std::mutex> lock(m_);
+  capacity_ = n == 0 ? 1 : n;
+  ring_.clear();
+  ring_.shrink_to_fit();
+  total_ = 0;
+}
+
+std::size_t tracer::capacity() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return capacity_;
+}
+
+std::uint32_t tracer::next_trace_id() {
+  std::lock_guard<std::mutex> lock(m_);
+  return ++next_id_;
+}
+
+void tracer::record(const hop_record& r) {
+  std::lock_guard<std::mutex> lock(m_);
+  if (ring_.size() < capacity_) {
+    // Fill phase: the ring grows once up to capacity, then stays put.
+    ring_.push_back(r);
+  } else {
+    ring_[total_ % capacity_] = r;
+  }
+  ++total_;
+}
+
+std::uint64_t tracer::total_recorded() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return total_;
+}
+
+std::vector<hop_record> tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(m_);
+  std::vector<hop_record> out;
+  out.reserve(ring_.size());
+  if (total_ <= ring_.size()) {
+    out = ring_;
+  } else {
+    const std::size_t head = total_ % capacity_;  // oldest record
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(head));
+  }
+  return out;
+}
+
+std::vector<hop_record> tracer::packet_life(std::uint32_t trace_id) const {
+  std::vector<hop_record> out;
+  for (const hop_record& r : snapshot()) {
+    if (r.trace_id == trace_id) out.push_back(r);
+  }
+  return out;
+}
+
+void tracer::clear() {
+  std::lock_guard<std::mutex> lock(m_);
+  ring_.clear();
+  total_ = 0;
+  next_id_ = 0;
+}
+
+}  // namespace onfiber::obs

@@ -2,9 +2,25 @@
 
 #include <stdexcept>
 
+#include "obs/scoped_timer.hpp"
 #include "photonics/kernels.hpp"
 
 namespace onfiber::phot {
+
+namespace {
+// Lazily resolved stage-timing histograms (the engine is constructed
+// long before tracing may be flipped on).
+obs::histogram& gemv_wall_hist() {
+  static obs::histogram& h =
+      obs::registry::global().get_histogram("kernel.gemv_wall_s");
+  return h;
+}
+obs::histogram& gemm_wall_hist() {
+  static obs::histogram& h =
+      obs::registry::global().get_histogram("kernel.gemm_wall_s");
+  return h;
+}
+}  // namespace
 
 vector_matrix_engine::vector_matrix_engine(dot_product_config config,
                                            std::uint64_t seed,
@@ -22,6 +38,7 @@ gemv_result vector_matrix_engine::run_gemv(const matrix& w,
   if (w.cols != x.size() || w.rows == 0) {
     throw std::invalid_argument("vector_matrix_engine: shape mismatch");
   }
+  const obs::scoped_timer timer(gemv_wall_hist());
   const std::size_t rows = w.rows;
 
   // Fork every row's seed up front, in row order: the only RNG state the
@@ -63,6 +80,7 @@ gemm_result vector_matrix_engine::gemm_signed(const matrix& w,
       xs.size() % w.cols != 0) {
     throw std::invalid_argument("vector_matrix_engine: gemm shape mismatch");
   }
+  const obs::scoped_timer timer(gemm_wall_hist());
   const std::size_t rows = w.rows;
   const std::size_t cols = w.cols;
   const std::size_t batch = xs.size() / cols;

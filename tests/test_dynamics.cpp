@@ -313,6 +313,53 @@ TEST(SpreadSteering, NearestPolicyUsesOneSite) {
   EXPECT_TRUE(one_sided);
 }
 
+TEST(SpreadSteering, FollowsReconvergedRoutesAfterFlap) {
+  // Regression: the spread-steering first-hop matrix used to be computed
+  // once at install time, so after A-B flapped and the routing plane
+  // reconverged, flow_spread kept redirecting A's traffic for site B
+  // straight into the dead link. The fabric's reconvergence callback now
+  // rebuilds the matrix, so the post-reconvergence packet detours via C.
+  net::simulator sim;
+  core::onfiber_runtime rt(sim, net::make_figure1_topology());
+  core::gemv_task task;
+  task.weights = phot::matrix(2, 8);
+  for (double& w : task.weights.data) w = 0.5;
+  rt.deploy_engine(1, {}, 25).configure_gemv(task);  // B
+  rt.deploy_engine(2, {}, 26).configure_gemv(task);  // C
+  rt.install_compute_routes_via_nearest_site();
+  rt.set_steering_policy(
+      core::onfiber_runtime::steering_policy::flow_spread);
+
+  // A-B down at 1 ms, reconverged at 1.5 ms, restored at 2 ms.
+  const net::wan_fabric::link_flap flap{0, 0.001, 0.002};
+  rt.fabric().schedule_flaps({&flap, 1}, 0.0005);
+
+  const std::vector<double> x(8, 0.5);
+  const auto send_at = [&](double t, std::uint32_t id) {
+    sim.schedule_at(t, [&rt, &x, id] {
+      net::packet pkt = core::make_gemv_request(
+          rt.fabric().topo().node_at(0).address,
+          rt.fabric().topo().node_at(3).address, x, 2, id);
+      pkt.flow_hash = 0;  // candidates [B, C]: 0 % 2 -> site B
+      rt.submit(std::move(pkt), 0);
+    });
+  };
+  send_at(0.0012, 1);  // stale window: black-holed (intended behavior)
+  send_at(0.0017, 2);  // post-reconvergence: must detour via C toward B
+  sim.run();
+
+  EXPECT_EQ(rt.fabric().drops().link_down, 1u);  // only the in-window one
+  ASSERT_EQ(rt.deliveries().size(), 1u);
+  EXPECT_EQ(rt.stats().computed, 1u);
+  // The detour toward B transits C, a capable site, so the compute
+  // happens there — the point is the packet survived instead of chasing
+  // the stale first hop into the dead A-B link.
+  EXPECT_GT(rt.site_busy_s(2), 0.0);
+  const auto h = proto::peek_compute_header(rt.deliveries()[0].pkt);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->task_id, 2u);
+}
+
 // --------------------------------------------------------- link failures
 
 TEST(LinkFailure, TrafficBlackholedUntilReconvergence) {

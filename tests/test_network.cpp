@@ -552,6 +552,50 @@ TEST(Fabric, HighBerFlipCountClampedToPayloadBits) {
   EXPECT_EQ(delivered_payload[0], expect);
 }
 
+TEST(Fabric, BitErrorCountsNetCorruptionOnly) {
+  // Positions are drawn with replacement, so a bit flipped an even
+  // number of times cancels out and the payload arrives intact. The
+  // corruption counter must track packets whose payload actually
+  // changed, not packets that merely drew flips (the old behavior).
+  simulator sim;
+  wan_fabric fabric(sim, make_linear_topology(2, 10.0));
+  fabric.install_shortest_path_routes();
+  constexpr double ber = 0.25;
+  constexpr std::uint64_t seed = 5;
+  constexpr int packets = 200;
+  fabric.set_bit_error_rate(ber, seed);
+
+  std::uint64_t changed = 0;
+  fabric.set_deliver_callback([&](const packet& pkt, node_id, double) {
+    if (pkt.payload[0] != 0x00) ++changed;
+  });
+  for (int i = 0; i < packets; ++i) {
+    packet pkt;
+    pkt.dst = fabric.topo().node_at(1).address;
+    pkt.payload.assign(1, 0x00);
+    fabric.send(std::move(pkt), 0);
+  }
+  sim.run();
+
+  // Replay the generator: packets traverse the single link in send
+  // order, so the draw sequence is reproducible.
+  phot::rng replay{seed};
+  std::uint64_t flip_events = 0;
+  for (int i = 0; i < packets; ++i) {
+    std::uint64_t flips = replay.poisson(ber * 8.0);
+    if (flips == 0) continue;
+    if (flips > 8) flips = 8;
+    ++flip_events;
+    for (std::uint64_t f = 0; f < flips; ++f) (void)replay.below(8);
+  }
+  EXPECT_EQ(fabric.delivered(), static_cast<std::uint64_t>(packets));
+  EXPECT_EQ(fabric.corrupted(), changed);
+  // The scenario really exercises cancellation — some packets drew
+  // flips yet arrived intact (this is what the old counter overcounted).
+  EXPECT_LT(changed, flip_events);
+  EXPECT_GT(changed, 0u);
+}
+
 TEST(Fabric, DestHintRevalidatedWhenHookRewritesDst) {
   // A hook rewriting dst mid-path invalidates the flat-cache hint; the
   // packet must fall back to the trie and deliver at the new target.
@@ -697,6 +741,23 @@ TEST(Stats, JainFairness) {
   EXPECT_DOUBLE_EQ(jain_fairness({1.0, 0.0, 0.0, 0.0}), 0.25);
   EXPECT_DOUBLE_EQ(jain_fairness({}), 1.0);
   EXPECT_DOUBLE_EQ(jain_fairness({0.0, 0.0}), 1.0);
+}
+
+TEST(Stats, SummaryKeepsInsertionOrder) {
+  // samples() is documented to return insertion order; the order
+  // statistics used to sort the internal vector in place as a side
+  // effect, silently reordering what samples() exposed.
+  summary s;
+  const std::vector<double> inserted{5.0, 1.0, 4.0, 2.0, 3.0};
+  for (const double v : inserted) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.samples(), inserted);
+  // Interleaved adds keep both views consistent.
+  s.add(0.5);
+  EXPECT_DOUBLE_EQ(s.min(), 0.5);
+  EXPECT_EQ(s.samples().back(), 0.5);
 }
 
 TEST(Stats, SummaryStddev) {

@@ -250,6 +250,59 @@ TEST(Reliability, RejectsBadSubmissions) {
   EXPECT_THROW(rt.enable_reliability(bad), std::invalid_argument);
 }
 
+TEST(Reliability, DuplicateDeliveryAfterAckIsCounted) {
+  // The rto is shorter than the submit->ack round trip, so a retransmit
+  // goes out while the first copy's ack is still in flight. The ack
+  // lands first and erases the pending entry; the retransmit's delivery
+  // arrives afterwards and must still be counted as a duplicate (it used
+  // to vanish once the table entry was gone).
+  net::simulator sim;
+  core::onfiber_runtime rt(sim, net::make_figure1_topology());
+  rt.deploy_engine(1, {}, 67).configure_gemv(unit_gemv(4));
+  rt.install_compute_routes_via_nearest_site();
+
+  core::onfiber_runtime::reliability_config cfg;
+  cfg.initial_rto_s = 0.006;  // > one-way (~4.3 ms), < round trip (~8.6 ms)
+  rt.enable_reliability(cfg);
+  rt.submit_reliable(request_a_to_d(rt, 3), 0);
+  sim.run();
+
+  const auto& s = rt.reliability();
+  EXPECT_EQ(s.completed, 1u);
+  EXPECT_EQ(s.retransmits, 1u);
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_EQ(s.duplicate_deliveries, 1u);
+  EXPECT_EQ(rt.tasks_in_flight(), 0u);
+}
+
+TEST(Reliability, ReusedTaskIdDoesNotInheritDuplicateHistory) {
+  // Complete task 5, then legally reuse its id for a task that fails
+  // terminally before its packet arrives. The late first delivery of the
+  // *new* task must not be mistaken for a duplicate of the old one.
+  net::simulator sim;
+  core::onfiber_runtime rt(sim, net::make_figure1_topology());
+  rt.deploy_engine(1, {}, 68).configure_gemv(unit_gemv(4));
+  rt.install_compute_routes_via_nearest_site();
+
+  rt.enable_reliability();
+  rt.submit_reliable(request_a_to_d(rt, 5), 0);
+  sim.run();
+  ASSERT_EQ(rt.reliability().completed, 1u);
+  ASSERT_EQ(rt.reliability().duplicate_deliveries, 0u);
+
+  core::onfiber_runtime::reliability_config cfg;
+  cfg.initial_rto_s = 0.001;  // fires before the ~4.3 ms delivery
+  cfg.max_retries = 0;        // first timeout is terminal
+  rt.enable_reliability(cfg);
+  rt.submit_reliable(request_a_to_d(rt, 5), 0);
+  sim.run();
+
+  const auto& s = rt.reliability();
+  EXPECT_EQ(s.failed, 1u);
+  EXPECT_EQ(s.completed, 1u);
+  EXPECT_EQ(s.duplicate_deliveries, 0u);
+}
+
 // ------------------------------------------------------ failover planner
 
 TEST(FailoverPlanner, PicksBestAlternateOverLiveLinks) {
