@@ -12,10 +12,13 @@
 // (fabric.packets_per_s) is compared against the seed engine's recorded
 // fig4.packets_per_s = 14202/s (BENCH_kernels.json, PR 1).
 #include <cstdio>
+#include <cstdlib>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "network/fabric.hpp"
+#include "network/shard_engine.hpp"
 #include "network/topology.hpp"
 #include "obs/exporter.hpp"
 #include "obs/metrics.hpp"
@@ -63,6 +66,7 @@ sweep_result run_chain(std::size_t nodes, std::size_t payload_bytes,
       net::packet pkt;
       pkt.src = src;
       pkt.dst = dst;
+      pkt.ttl = 255;  // the 128-node chain needs 127 hops
       pkt.payload = fabric.pool().acquire();
       pkt.payload.assign(payload_bytes, 0xab);
       fabric.send(std::move(pkt), 0);
@@ -85,6 +89,60 @@ sweep_result run_chain(std::size_t nodes, std::size_t payload_bytes,
   return r;
 }
 
+/// Sharded-engine throughput: uniform stride-8 flows (node i -> i+8 for
+/// every i with both endpoints on the chain) keep all shards busy —
+/// a single-source chain workload has no spatial parallelism to mine.
+/// Everything is injected in one global event; link serialization then
+/// spreads the wave so each conservative window (lookahead = one hop's
+/// propagation delay) carries thousands of events per shard.
+sweep_result run_chain_sharded(std::size_t shards, std::size_t nodes,
+                               int total_packets) {
+  constexpr std::size_t kStride = 8;
+  net::shard_engine engine(shards);
+  net::wan_fabric fabric(engine, net::make_linear_topology(nodes, 50.0));
+  fabric.install_shortest_path_routes();
+
+  std::vector<net::node_id> sources;
+  for (std::size_t i = 0; i + kStride < nodes; ++i) {
+    sources.push_back(static_cast<net::node_id>(i));
+  }
+  const int per_source =
+      total_packets / static_cast<int>(sources.size()) + 1;
+  engine.schedule_global(0.0, [&fabric, &sources, per_source] {
+    for (const net::node_id src : sources) {
+      const net::ipv4 from = fabric.topo().node_at(src).address;
+      const net::ipv4 to =
+          fabric.topo().node_at(src + kStride).address;
+      for (int i = 0; i < per_source; ++i) {
+        net::packet pkt;
+        pkt.src = from;
+        pkt.dst = to;
+        pkt.payload = fabric.pool_of(src).acquire();
+        pkt.payload.assign(256, 0xab);
+        fabric.send(std::move(pkt), src);
+      }
+    }
+  });
+
+  stopwatch sw;
+  engine.run();
+  const double dt = sw.elapsed_s();
+  sweep_result r;
+  r.packets_per_s = static_cast<double>(fabric.delivered()) / dt;
+  r.hops_per_s = r.packets_per_s * static_cast<double>(kStride);
+  return r;
+}
+
+/// ONFIBER_FABRIC_PACKETS shrinks the per-config packet budget (the
+/// tsan stage uses it: full-size sweeps under tsan take minutes).
+int packet_budget(int fallback) {
+  if (const char* env = std::getenv("ONFIBER_FABRIC_PACKETS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return fallback;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -92,12 +150,12 @@ int main(int argc, char** argv) {
   const std::string json_arg = json_path_from_args(argc, argv);
   json_report report(json_arg.empty() ? "BENCH_fabric.json" : json_arg);
 
-  constexpr int kPackets = 30000;
+  const int kPackets = packet_budget(30000);
 
   note("linear chains, 256 B payload, no hooks (topology-size sweep)");
   std::printf("  %8s %14s %14s\n", "nodes", "packets/s", "hops/s");
   double headline = 0.0;
-  for (const std::size_t nodes : {4u, 8u, 16u, 32u}) {
+  for (const std::size_t nodes : {4u, 8u, 16u, 32u, 64u, 128u}) {
     const sweep_result r = run_chain(nodes, 256, kPackets, 0);
     std::printf("  %8zu %14.0f %14.0f\n", nodes, r.packets_per_s,
                 r.hops_per_s);
@@ -146,6 +204,32 @@ int main(int argc, char** argv) {
           report.set(key, value);
         });
     obs::set_enabled(was_enabled);
+  }
+
+  note("");
+  note("sharded engine (32-node chain, stride-8 uniform flows, 256 B)");
+  std::printf("  %8s %14s %14s %10s\n", "shards", "packets/s", "hops/s",
+              "speedup");
+  {
+    std::vector<std::size_t> shard_counts = {1, 2, 4};
+    if (const char* env = std::getenv("ONFIBER_SHARDS")) {
+      const int n = std::atoi(env);
+      if (n > 1) shard_counts = {1, static_cast<std::size_t>(n)};
+    }
+    // Parallel speedup is bounded by the machine: record the core count
+    // next to the shard keys so the numbers stay interpretable.
+    report.set("fabric.shards.hw_concurrency",
+               static_cast<double>(std::thread::hardware_concurrency()));
+    const int total = 4 * kPackets;
+    double base = 0.0;
+    for (const std::size_t shards : shard_counts) {
+      const sweep_result r = run_chain_sharded(shards, 32, total);
+      if (shards == 1) base = r.packets_per_s;
+      std::printf("  %8zu %14.0f %14.0f %9.2fx\n", shards, r.packets_per_s,
+                  r.hops_per_s, base > 0.0 ? r.packets_per_s / base : 0.0);
+      report.set("fabric.shards" + std::to_string(shards) + ".packets_per_s",
+                 r.packets_per_s);
+    }
   }
 
   const double speedup = headline / kSeedFig4PacketsPerS;

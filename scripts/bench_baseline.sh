@@ -33,6 +33,17 @@ for key in fig2a.batch_ns_per_mac table1.batch_inferences_per_s; do
   fi
 done
 
+# The sharded-engine sweep must have produced its per-shard-count keys:
+# a missing one means the sweep silently skipped a configuration (or the
+# bench predates the sharded engine).
+for key in fabric.shards1.packets_per_s fabric.shards2.packets_per_s \
+           fabric.shards4.packets_per_s; do
+  if ! grep -q "\"$key\"" "$FABRIC_OUT"; then
+    echo "bench_baseline: missing key $key in $FABRIC_OUT" >&2
+    exit 1
+  fi
+done
+
 # The observability plane must have merged its counters into the bench
 # reports (obs.* keys from exporter::append_flat). A missing key means a
 # bench ran with the obs spot-check phase dropped or the plane silently

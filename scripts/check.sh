@@ -31,3 +31,14 @@ cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)"
 ctest --preset tsan --no-tests=error \
   -R 'PoolDeterminism|TwoPassKernels|BatchedEngine|Batching|Parallel'
+
+# Sharded-engine tsan gate: the determinism suite re-runs with an extra
+# ONFIBER_SHARDS=4 sweep entry, and the fabric bench drives the sharded
+# sweep end to end (shrunk packet budget — full-size sweeps under tsan
+# take minutes). Any cross-shard race in the window barrier, the SPSC
+# channels, or the lock-free tracer fails here.
+ONFIBER_SHARDS=4 ctest --preset tsan --no-tests=error -R 'Sharded'
+ONFIBER_SHARDS=4 ONFIBER_FABRIC_PACKETS=2000 ONFIBER_TRACE=1 \
+  ./build-tsan/bench/bench_ext_fabric --json /tmp/bench_fabric_tsan.json \
+  > /dev/null
+rm -f /tmp/bench_fabric_tsan.json

@@ -1,5 +1,6 @@
 #include "core/runtime.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 #include <utility>
@@ -11,10 +12,21 @@
 namespace onfiber::core {
 
 onfiber_runtime::onfiber_runtime(net::simulator& sim, net::topology topo)
-    : sim_(sim),
-      fabric_(sim, std::move(topo)),
-      sites_(fabric_.topo().node_count()),
-      compute_tables_(fabric_.topo().node_count()) {
+    : sim_(sim), fabric_(sim, std::move(topo)) {
+  init();
+}
+
+onfiber_runtime::onfiber_runtime(net::shard_engine& engine,
+                                 net::topology topo)
+    : sim_(engine.primary()), fabric_(engine, std::move(topo)) {
+  init();
+}
+
+void onfiber_runtime::init() {
+  sites_.resize(fabric_.topo().node_count());
+  compute_tables_.resize(fabric_.topo().node_count());
+  shard_deliveries_.resize(fabric_.shard_count());
+  shard_stats_.resize(fabric_.shard_count());
   fabric_.install_shortest_path_routes();
   // Keep route-derived steering state in sync with the routing plane:
   // every reconvergence (scheduled flaps included) refreshes the
@@ -46,6 +58,34 @@ onfiber_runtime::onfiber_runtime(net::simulator& sim, net::topology topo)
   obs_rel_failovers_ = &reg.get_counter("reliability.failovers");
   obs_rel_acks_ = &reg.get_counter("reliability.acks_sent");
   obs_rel_duplicates_ = &reg.get_counter("reliability.duplicate_deliveries");
+}
+
+const std::vector<onfiber_runtime::delivery>& onfiber_runtime::deliveries()
+    const {
+  // Classic / 1-shard: the raw event-order log, exactly as before.
+  if (shard_deliveries_.size() == 1) return shard_deliveries_[0];
+  deliveries_merged_.clear();
+  for (const auto& log : shard_deliveries_) {
+    deliveries_merged_.insert(deliveries_merged_.end(), log.begin(),
+                              log.end());
+  }
+  std::stable_sort(deliveries_merged_.begin(), deliveries_merged_.end(),
+                   [](const delivery& a, const delivery& b) {
+                     if (a.time_s != b.time_s) return a.time_s < b.time_s;
+                     return a.at < b.at;
+                   });
+  return deliveries_merged_;
+}
+
+const onfiber_runtime::runtime_stats& onfiber_runtime::stats() const {
+  stats_cache_ = runtime_stats{};
+  for (const runtime_stats& s : shard_stats_) {
+    stats_cache_.computed += s.computed;
+    stats_cache_.redirected += s.redirected;
+    stats_cache_.uncomputed_delivered += s.uncomputed_delivered;
+    stats_cache_.malformed_dropped += s.malformed_dropped;
+  }
+  return stats_cache_;
 }
 
 void onfiber_runtime::rebuild_spread_tables() {
@@ -104,10 +144,10 @@ void onfiber_runtime::on_delivery(const net::packet& pkt, net::node_id at,
     return;
   }
   if (h && h->requires_compute() && !h->has_result()) {
-    ++stats_.uncomputed_delivered;
+    ++stats_of(at).uncomputed_delivered;
     if (obs::enabled()) obs_uncomputed_->add();
   }
-  deliveries_.push_back(delivery{pkt, at, now});
+  shard_deliveries_[fabric_.shard_of(at)].push_back(delivery{pkt, at, now});
 
   if (!reliability_enabled_ || !h) return;
   const auto it = pending_.find(h->task_id);
@@ -139,7 +179,7 @@ void onfiber_runtime::on_delivery(const net::packet& pkt, net::node_id at,
   // and a lost ack simply lets the retransmit timer fire (the duplicate
   // delivery re-acks).
   net::packet ack;
-  ack.payload = fabric_.pool().acquire();  // recycled allocation if any
+  ack.payload = fabric_.pool_of(at).acquire();  // recycled allocation if any
   ack.src = fabric_.topo().node_at(at).address;
   ack.dst = task.reply_to;
   proto::compute_header ah;
@@ -155,6 +195,14 @@ void onfiber_runtime::on_delivery(const net::packet& pkt, net::node_id at,
 }
 
 void onfiber_runtime::enable_reliability(reliability_config cfg) {
+  if (fabric_.sharded()) {
+    // The task table is written from delivery events (destination shard)
+    // and retry timers (ingress shard) — inherently cross-shard mutable
+    // state. Reliability runs on classic or 1-shard fabrics only.
+    throw std::logic_error(
+        "onfiber_runtime: the reliability layer requires a single-shard "
+        "fabric");
+  }
   if (cfg.initial_rto_s <= 0.0 || cfg.backoff < 1.0 || cfg.max_retries < 0 ||
       cfg.failover_after < 1) {
     throw std::invalid_argument("onfiber_runtime: bad reliability config");
@@ -423,7 +471,7 @@ void onfiber_runtime::flush_site_batch(net::node_id at) {
   // One site overhead for the whole flush — that is the amortization —
   // plus the shared analog evaluation time; the serial engine then queues
   // the flush behind in-progress work exactly like a single packet.
-  const double now = sim_.now();
+  const double now = sim_for(at).now();
   const double start = now > s.busy_until_s ? now : s.busy_until_s;
   const double service = site_overhead_s(s) + report.compute_latency_s;
   const double done = start + service;
@@ -436,9 +484,10 @@ void onfiber_runtime::flush_site_batch(net::node_id at) {
     obs_batched_packets_->add(batch.size());
     sample_site_timeline(at, s, now, batch.size());
   }
+  runtime_stats& st = stats_of(at);
   for (std::size_t i = 0; i < batch.size(); ++i) {
     if (report.computed[i]) {
-      ++stats_.computed;
+      ++st.computed;
       ++s.computed;
       if (tracing) {
         obs_computed_->add();
@@ -450,13 +499,13 @@ void onfiber_runtime::flush_site_batch(net::node_id at) {
         r.aux = static_cast<std::uint32_t>(batch.size());
         obs::tracer::global().record(r);
       }
-      sim_.schedule_packet_at(done, std::move(batch[i]), at,
-                              net::wan_fabric::op_inject, &fabric_);
+      sim_for(at).schedule_packet_at(done, std::move(batch[i]), at,
+                                     net::wan_fabric::op_inject, &fabric_);
     } else {
       // can_process() admitted it, so this is defensive only: a packet
       // the batched engine still refused is dropped and counted rather
       // than silently lost.
-      ++stats_.malformed_dropped;
+      ++st.malformed_dropped;
       if (tracing) obs_malformed_->add();
     }
   }
@@ -469,7 +518,7 @@ net::hook_decision onfiber_runtime::on_packet(net::node_id at,
 
   const auto header = proto::peek_compute_header(pkt);
   if (!header) {
-    ++stats_.malformed_dropped;
+    ++stats_of(at).malformed_dropped;
     if (obs::enabled()) obs_malformed_->add();
     return net::hook_decision{net::hook_decision::action_type::drop,
                               net::invalid_node};
@@ -488,15 +537,15 @@ net::hook_decision onfiber_runtime::on_packet(net::node_id at,
       s.batch_queue.push_back(std::move(pkt));
       if (!s.flush_scheduled) {
         s.flush_scheduled = true;
-        sim_.schedule(batching_window_s_,
-                      [this, at] { flush_site_batch(at); });
+        sim_for(at).schedule(batching_window_s_,
+                             [this, at] { flush_site_batch(at); });
       }
       return net::hook_decision{net::hook_decision::action_type::consume,
                                 net::invalid_node};
     }
     const engine_report report = s.engine->process(pkt);
     if (report.computed) {
-      ++stats_.computed;
+      ++stats_of(at).computed;
       ++s.computed;
       // Serial engine: queue behind in-progress work.
       const double start = now > s.busy_until_s ? now : s.busy_until_s;
@@ -519,8 +568,8 @@ net::hook_decision onfiber_runtime::on_packet(net::node_id at,
       // consume decision lets us steal the packet; op_inject re-enters it
       // through fabric::send at `done`, exactly like the seed closure did,
       // but as a typed event — no per-packet closure or payload copy.
-      sim_.schedule_packet_at(done, std::move(pkt), at,
-                              net::wan_fabric::op_inject, &fabric_);
+      sim_for(at).schedule_packet_at(done, std::move(pkt), at,
+                                     net::wan_fabric::op_inject, &fabric_);
       return net::hook_decision{net::hook_decision::action_type::consume,
                                 net::invalid_node};
     }
@@ -540,7 +589,7 @@ net::hook_decision onfiber_runtime::on_packet(net::node_id at,
       const auto hop = fabric_.next_hop(
           at, fabric_.topo().node_at(it->second.pinned_site).address);
       if (hop && *hop != at) {
-        ++stats_.redirected;
+        ++stats_of(at).redirected;
         if (obs::enabled()) obs_redirected_->add();
         return net::hook_decision{net::hook_decision::action_type::redirect,
                                   *hop};
@@ -561,7 +610,7 @@ net::hook_decision onfiber_runtime::on_packet(net::node_id at,
       const net::node_id hop =
           target == at ? net::invalid_node : next_hop_toward_[at][target];
       if (hop != net::invalid_node) {
-        ++stats_.redirected;
+        ++stats_of(at).redirected;
         if (obs::enabled()) obs_redirected_->add();
         return net::hook_decision{net::hook_decision::action_type::redirect,
                                   hop};
@@ -572,7 +621,7 @@ net::hook_decision onfiber_runtime::on_packet(net::node_id at,
   // Steer toward a capable site if a compute route exists.
   const auto next = compute_tables_[at].lookup(pkt.dst, header->primitive);
   if (next) {
-    ++stats_.redirected;
+    ++stats_of(at).redirected;
     if (obs::enabled()) obs_redirected_->add();
     return net::hook_decision{net::hook_decision::action_type::redirect,
                               *next};

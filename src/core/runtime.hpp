@@ -32,6 +32,16 @@ class onfiber_runtime {
  public:
   onfiber_runtime(net::simulator& sim, net::topology topo);
 
+  /// Sharded runtime: the fabric partitions the topology across the
+  /// engine's shards and hooks run on the owning shard's thread. Site
+  /// state stays per-node (a node lives on exactly one shard), while
+  /// the runtime's counters and delivery log become per-shard and are
+  /// merged deterministically on read. The reliability layer's task
+  /// table is inherently cross-shard and is unsupported at more than
+  /// one shard (enable_reliability throws). A 1-shard engine behaves
+  /// bit-identically to the classic constructor.
+  onfiber_runtime(net::shard_engine& engine, net::topology topo);
+
   onfiber_runtime(const onfiber_runtime&) = delete;
   onfiber_runtime& operator=(const onfiber_runtime&) = delete;
 
@@ -95,10 +105,17 @@ class onfiber_runtime {
     net::node_id at = net::invalid_node;
     double time_s = 0.0;
   };
-  [[nodiscard]] const std::vector<delivery>& deliveries() const {
-    return deliveries_;
+  /// Delivered packets. Classic (and 1-shard) runtimes return the log in
+  /// raw event order, exactly as before. Multi-shard runtimes keep one
+  /// log per shard and merge by (time_s, at) on read — deterministic
+  /// because same-node deliveries are same-shard (already ordered) and
+  /// cross-node ties at the exact same double timestamp do not occur in
+  /// the golden workloads.
+  [[nodiscard]] const std::vector<delivery>& deliveries() const;
+  void clear_deliveries() {
+    for (auto& d : shard_deliveries_) d.clear();
+    deliveries_merged_.clear();
   }
-  void clear_deliveries() { deliveries_.clear(); }
 
   struct runtime_stats {
     std::uint64_t computed = 0;             ///< packets computed at a site
@@ -106,7 +123,9 @@ class onfiber_runtime {
     std::uint64_t uncomputed_delivered = 0; ///< required compute never ran
     std::uint64_t malformed_dropped = 0;    ///< bad compute headers dropped
   };
-  [[nodiscard]] const runtime_stats& stats() const { return stats_; }
+  /// Counters are kept per shard and summed on read (order-independent
+  /// integer sums — deterministic at any shard count).
+  [[nodiscard]] const runtime_stats& stats() const;
 
   /// Aggregate compute latency spent at each site (indexed by node id;
   /// 0 for nodes without engines).
@@ -223,6 +242,9 @@ class onfiber_runtime {
     bool delivered = false;       ///< destination saw it (ack may be lost)
   };
 
+  /// Shared constructor body (fabric_ and sim_ already bound).
+  void init();
+
   net::hook_decision on_packet(net::node_id at, net::packet& pkt, double now);
 
   /// Refresh the spread-steering first-hop matrix from the fabric's
@@ -260,12 +282,27 @@ class onfiber_runtime {
   /// detection (17 symbols on the P2 matcher) + result insertion.
   [[nodiscard]] double site_overhead_s(const site& s) const;
 
+  /// The event loop owning `at` (sim_ itself in classic mode). Site
+  /// compute re-injection and batch-flush timers must ride the shard
+  /// that runs the site's hook.
+  [[nodiscard]] net::simulator& sim_for(net::node_id at) {
+    return fabric_.sim_for(at);
+  }
+  /// The stats bucket mutated by `at`'s shard thread.
+  [[nodiscard]] runtime_stats& stats_of(net::node_id at) {
+    return shard_stats_[fabric_.shard_of(at)];
+  }
+
   net::simulator& sim_;
   net::wan_fabric fabric_;
   std::vector<std::unique_ptr<site>> sites_;  // indexed by node id
   std::vector<proto::compute_routing_table<net::node_id>> compute_tables_;
-  std::vector<delivery> deliveries_;
-  runtime_stats stats_;
+  /// One delivery log / stats bucket per shard (single-writer each);
+  /// merged views are rebuilt on demand.
+  std::vector<std::vector<delivery>> shard_deliveries_;
+  std::vector<runtime_stats> shard_stats_;
+  mutable std::vector<delivery> deliveries_merged_;
+  mutable runtime_stats stats_cache_;
 
   steering_policy steering_ = steering_policy::nearest_site;
   double batching_window_s_ = 0.0;  ///< 0 = per-packet compute (default)

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <queue>
 #include <vector>
 
@@ -117,6 +118,38 @@ class simulator {
                executed >= max_events;
     if (now_s_ < until_s) now_s_ = until_s;
     return executed;
+  }
+
+  /// One conservative time window (shard_engine): execute every event
+  /// with time strictly below `end_s`. Unlike run_until, the bound is
+  /// exclusive — events *at* end_s belong to the next window, after the
+  /// cross-shard merge — and now() is left at the last executed event,
+  /// not advanced to the bound (the engine advances idle shards
+  /// explicitly when a global event needs a common clock).
+  std::uint64_t run_window(double end_s,
+                           std::uint64_t max_events = unlimited_events) {
+    std::uint64_t executed = 0;
+    while (!queue_.empty() && queue_.top().time_s < end_s &&
+           executed < max_events) {
+      step();
+      ++executed;
+    }
+    return executed;
+  }
+
+  /// Timestamp of the earliest pending event, or +infinity when idle.
+  /// The shard engine's window computation reads this while the shard's
+  /// worker is parked at the barrier.
+  [[nodiscard]] double peek_next_time() const {
+    return queue_.empty() ? std::numeric_limits<double>::infinity()
+                          : queue_.top().time_s;
+  }
+
+  /// Move the clock forward to `time_s` (never backward). Used by the
+  /// shard engine to put every shard on a common clock before a global
+  /// (control-plane) event executes.
+  void advance_to(double time_s) {
+    if (time_s > now_s_) now_s_ = time_s;
   }
 
   [[nodiscard]] bool empty() const { return queue_.empty(); }

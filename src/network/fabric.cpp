@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <limits>
 #include <stdexcept>
 
 #include "obs/trace.hpp"
@@ -9,12 +10,19 @@
 namespace onfiber::net {
 
 wan_fabric::wan_fabric(simulator& sim, topology topo)
-    : sim_(sim),
+    : wan_fabric(&sim, nullptr, std::move(topo)) {}
+
+wan_fabric::wan_fabric(shard_engine& engine, topology topo)
+    : wan_fabric(nullptr, &engine, std::move(topo)) {}
+
+wan_fabric::wan_fabric(simulator* sim, shard_engine* engine, topology topo)
+    : sim_(sim != nullptr ? *sim : engine->primary()),
+      engine_(engine),
       topo_(std::move(topo)),
       tables_(topo_.node_count()),
       hooks_(topo_.node_count()),
       link_free_at_(topo_.links().size(), std::array<double, 2>{0.0, 0.0}),
-      link_bytes_(topo_.links().size(), 0.0),
+      link_bytes_dir_(topo_.links().size(), std::array<double, 2>{0.0, 0.0}),
       link_up_(topo_.links().size(), true) {
   const std::size_t n = topo_.node_count();
   // Destination resolution trie: attached prefixes are assigned by
@@ -35,6 +43,30 @@ wan_fabric::wan_fabric(simulator& sim, topology topo)
     }
   }
 
+  // Shard the node set. A classic fabric (and a 1-shard engine) is one
+  // shard holding everything — node_shard_ all zero keeps every
+  // datapath branch on the local path.
+  const std::size_t shards =
+      engine_ != nullptr ? engine_->shard_count() : 1;
+  node_shard_.assign(n, 0);
+  if (shards > 1) {
+    node_shard_ = partition_topology(topo_, shards);
+    // Conservative lookahead: the smallest propagation delay a packet
+    // must spend crossing a shard boundary bounds how far shards may
+    // run ahead of each other.
+    double lookahead = std::numeric_limits<double>::infinity();
+    for (const link& l : topo_.links()) {
+      if (node_shard_[l.a] != node_shard_[l.b]) {
+        lookahead = std::min(lookahead, l.delay_s());
+      }
+    }
+    engine_->set_lookahead(lookahead);
+  }
+  shard_states_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shard_states_.push_back(std::make_unique<shard_state>());
+  }
+
   obs::registry& reg = obs::registry::global();
   obs_delivered_ = &reg.get_counter("fabric.delivered");
   obs_hops_ = &reg.get_counter("fabric.hops");
@@ -45,19 +77,48 @@ wan_fabric::wan_fabric(simulator& sim, topology topo)
   obs_drops_[2] = &reg.get_counter("fabric.drop.no_route");
   obs_drops_[3] = &reg.get_counter("fabric.drop.hook_drop");
   obs_drops_[4] = &reg.get_counter("fabric.drop.bad_redirect");
+  tracer_ = &obs::tracer::global();
 }
 
-void wan_fabric::trace_hop(const packet& pkt, node_id at,
+const drop_stats& wan_fabric::drops() const {
+  drops_cache_ = drop_stats{};
+  for (const auto& s : shard_states_) {
+    drops_cache_.ttl_expired += s->drops.ttl_expired;
+    drops_cache_.link_down += s->drops.link_down;
+    drops_cache_.no_route += s->drops.no_route;
+    drops_cache_.hook_drop += s->drops.hook_drop;
+    drops_cache_.bad_redirect += s->drops.bad_redirect;
+  }
+  return drops_cache_;
+}
+
+const std::vector<double>& wan_fabric::link_bytes() const {
+  link_bytes_cache_.resize(link_bytes_dir_.size());
+  for (std::size_t i = 0; i < link_bytes_dir_.size(); ++i) {
+    link_bytes_cache_[i] = link_bytes_dir_[i][0] + link_bytes_dir_[i][1];
+  }
+  return link_bytes_cache_;
+}
+
+void wan_fabric::trace_hop(const packet& pkt, node_id at, double now_s,
                            obs::hop_action action, obs::drop_reason reason,
                            std::uint32_t aux) {
   obs::hop_record r;
   r.trace_id = pkt.trace_id;
   r.node = at;
-  r.time_s = sim_.now();
+  r.time_s = now_s;
   r.action = action;
   r.reason = reason;
   r.aux = aux;
-  obs::tracer::global().record(r);
+  tracer_->record(r);
+}
+
+void wan_fabric::schedule_control(double time_s, simulator::handler fn) {
+  if (engine_ != nullptr) {
+    engine_->schedule_global(time_s, std::move(fn));
+  } else {
+    sim_.schedule_at(time_s, std::move(fn));
+  }
 }
 
 void wan_fabric::install_shortest_path_routes() {
@@ -102,13 +163,16 @@ void wan_fabric::schedule_flaps(std::span<const link_flap> flaps,
         "wan_fabric: reconvergence delay/jitter must be >= 0");
   }
   // Draw all jitter up front, in flap order, so the schedule is fixed at
-  // scheduling time regardless of event interleaving.
+  // scheduling time regardless of event interleaving. Everything here is
+  // control plane: in sharded mode these run as coordinator global
+  // events with every shard parked, so link_up_ and the route tables are
+  // never written while a datapath thread is in flight.
   phot::rng jitter{jitter_seed};
   const auto reconverge_after = [&](double event_s) {
     const double extra = reconvergence_jitter_s > 0.0
                              ? jitter.uniform(0.0, reconvergence_jitter_s)
                              : 0.0;
-    sim_.schedule_at(event_s + reconvergence_delay_s + extra, [this] {
+    schedule_control(event_s + reconvergence_delay_s + extra, [this] {
       install_shortest_path_routes();
       ++reconvergences_;
     });
@@ -120,10 +184,10 @@ void wan_fabric::schedule_flaps(std::span<const link_flap> flaps,
     if (f.restore_at_s < f.fail_at_s) {
       throw std::invalid_argument("wan_fabric: flap restores before failing");
     }
-    sim_.schedule_at(f.fail_at_s,
+    schedule_control(f.fail_at_s,
                      [this, li = f.link_index] { fail_link(li); });
     reconverge_after(f.fail_at_s);
-    sim_.schedule_at(f.restore_at_s,
+    schedule_control(f.restore_at_s,
                      [this, li = f.link_index] { restore_link(li); });
     reconverge_after(f.restore_at_s);
   }
@@ -151,14 +215,15 @@ void wan_fabric::send(packet pkt, node_id ingress) {
   if (ingress >= topo_.node_count()) {
     throw std::out_of_range("wan_fabric: bad ingress node");
   }
+  simulator& sim = sim_for(ingress);
   if (obs::enabled()) {
     if (pkt.trace_id == 0) {
-      pkt.trace_id = obs::tracer::global().next_trace_id();
+      pkt.trace_id = tracer_->next_trace_id();
     }
-    trace_hop(pkt, ingress, obs::hop_action::inject, obs::drop_reason::none,
-              0);
+    trace_hop(pkt, ingress, sim.now(), obs::hop_action::inject,
+              obs::drop_reason::none, 0);
   }
-  sim_.schedule_packet(0.0, std::move(pkt), ingress, op_arrive, this);
+  sim.schedule_packet(0.0, std::move(pkt), ingress, op_arrive, this);
 }
 
 void wan_fabric::on_packet_event(std::uint8_t op, packet&& pkt,
@@ -175,33 +240,42 @@ void wan_fabric::set_bit_error_rate(double ber, std::uint64_t seed) {
     throw std::invalid_argument("wan_fabric: BER must be in [0, 1)");
   }
   bit_error_rate_ = ber;
-  error_gen_ = phot::rng{seed};
+  // Shard 0 carries the caller's exact seed, so a classic (or 1-shard)
+  // fabric reproduces the historical stream bit for bit. Other shards
+  // split off their own streams: a shard-count-independent BER sequence
+  // is impossible with a single sequential generator, so multi-shard
+  // golden traces run with BER off (see tests/test_sharding.cpp).
+  for (std::size_t i = 0; i < shard_states_.size(); ++i) {
+    shard_states_[i]->error_gen =
+        phot::rng{seed + 0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(i)};
+  }
 }
 
-void wan_fabric::apply_bit_errors(packet& pkt) {
+void wan_fabric::apply_bit_errors(shard_state& ss, packet& pkt) {
   if (bit_error_rate_ <= 0.0 || pkt.payload.empty()) return;
   const std::uint64_t bit_count =
       static_cast<std::uint64_t>(pkt.payload.size()) * 8;
   const double bits = static_cast<double>(bit_count);
-  std::uint64_t flips = error_gen_.poisson(bit_error_rate_ * bits);
+  std::uint64_t flips = ss.error_gen.poisson(bit_error_rate_ * bits);
   if (flips == 0) return;
   // A high-BER draw can exceed the payload's bit count; flipping more
   // than every bit once is meaningless, so clamp.
   if (flips > bit_count) flips = bit_count;
-  flip_scratch_.clear();
+  ss.flip_scratch.clear();
   for (std::uint64_t i = 0; i < flips; ++i) {
-    const std::uint64_t bit = error_gen_.below(bit_count);
+    const std::uint64_t bit = ss.error_gen.below(bit_count);
     pkt.payload[bit / 8] ^= static_cast<std::uint8_t>(1U << (bit % 8));
-    flip_scratch_.push_back(bit);
+    ss.flip_scratch.push_back(bit);
   }
   // Positions are drawn with replacement, so the same bit flipped an even
   // number of times cancels out. Count the packet as corrupted only if
   // some bit's net parity actually changed.
-  std::sort(flip_scratch_.begin(), flip_scratch_.end());
+  std::sort(ss.flip_scratch.begin(), ss.flip_scratch.end());
   bool net_change = false;
-  for (std::size_t i = 0; i < flip_scratch_.size();) {
+  for (std::size_t i = 0; i < ss.flip_scratch.size();) {
     std::size_t j = i;
-    while (j < flip_scratch_.size() && flip_scratch_[j] == flip_scratch_[i]) {
+    while (j < ss.flip_scratch.size() &&
+           ss.flip_scratch[j] == ss.flip_scratch[i]) {
       ++j;
     }
     if (((j - i) & 1U) != 0) {
@@ -211,7 +285,7 @@ void wan_fabric::apply_bit_errors(packet& pkt) {
     i = j;
   }
   if (net_change) {
-    ++corrupted_;
+    ++ss.corrupted;
     if (obs::enabled()) obs_corrupted_->add();
   }
 }
@@ -242,15 +316,17 @@ void wan_fabric::forward_to(packet pkt, node_id from, node_id next) {
 
 void wan_fabric::forward_on(packet pkt, node_id from, node_id next,
                             std::size_t li) {
+  shard_state& ss = state_of(from);
+  simulator& sim = sim_for(from);
   if (!link_up_[li]) {
     // Black-holed until routing reconverges.
-    ++drops_.link_down;
+    ++ss.drops.link_down;
     if (obs::enabled()) {
       obs_drops_[1]->add();
-      trace_hop(pkt, from, obs::hop_action::drop, obs::drop_reason::link_down,
-                static_cast<std::uint32_t>(li));
+      trace_hop(pkt, from, sim.now(), obs::hop_action::drop,
+                obs::drop_reason::link_down, static_cast<std::uint32_t>(li));
     }
-    pool_.recycle(std::move(pkt));
+    ss.pool.recycle(std::move(pkt));
     return;
   }
   const link& l = topo_.links()[li];
@@ -258,67 +334,79 @@ void wan_fabric::forward_on(packet pkt, node_id from, node_id next,
 
   const double bits = static_cast<double>(pkt.wire_bytes()) * 8.0;
   const double serialize_s = bits / l.capacity_bps;
-  const double now = sim_.now();
+  const double now = sim.now();
 
   // FIFO queueing: wait until the transmitter frees up.
   double start = link_free_at_[li][static_cast<std::size_t>(dir)];
   if (start < now) start = now;
   const double done = start + serialize_s;
   link_free_at_[li][static_cast<std::size_t>(dir)] = done;
-  link_bytes_[li] += static_cast<double>(pkt.wire_bytes());
+  link_bytes_dir_[li][static_cast<std::size_t>(dir)] +=
+      static_cast<double>(pkt.wire_bytes());
 
   const double arrival = done + l.delay_s();
-  apply_bit_errors(pkt);
+  apply_bit_errors(ss, pkt);
   if (obs::enabled()) {
     obs_hops_->add();
-    trace_hop(pkt, from, obs::hop_action::forward, obs::drop_reason::none,
-              next);
+    trace_hop(pkt, from, now, obs::hop_action::forward,
+              obs::drop_reason::none, next);
   }
-  sim_.schedule_packet_at(arrival, std::move(pkt), next, op_arrive, this);
+  const std::uint32_t next_shard = node_shard_[next];
+  if (next_shard != node_shard_[from]) {
+    // Shard boundary: the hop leaves as a timestamped parcel and is
+    // merged into the destination shard's queue at the next window
+    // barrier in (time, src_shard, seq) order.
+    engine_->emit_parcel(node_shard_[from], next_shard, arrival,
+                         std::move(pkt), next, op_arrive, this);
+    return;
+  }
+  sim.schedule_packet_at(arrival, std::move(pkt), next, op_arrive, this);
 }
 
 void wan_fabric::arrive(packet pkt, node_id at) {
+  shard_state& ss = state_of(at);
+  const double now = sim_for(at).now();
   // Node-level intercept (compute transponder attach point).
   if (hooks_[at]) {
-    const hook_decision d = hooks_[at](at, pkt, sim_.now());
+    const hook_decision d = hooks_[at](at, pkt, now);
     switch (d.action) {
       case hook_decision::action_type::consume:
-        pool_.recycle(std::move(pkt));
+        ss.pool.recycle(std::move(pkt));
         return;
       case hook_decision::action_type::drop:
-        ++drops_.hook_drop;
+        ++ss.drops.hook_drop;
         if (obs::enabled()) {
           obs_drops_[3]->add();
-          trace_hop(pkt, at, obs::hop_action::drop,
+          trace_hop(pkt, at, now, obs::hop_action::drop,
                     obs::drop_reason::hook_drop, 0);
         }
-        pool_.recycle(std::move(pkt));
+        ss.pool.recycle(std::move(pkt));
         return;
       case hook_decision::action_type::redirect:
         if (d.redirect_to == invalid_node ||
             d.redirect_to >= topo_.node_count()) {
-          ++drops_.bad_redirect;
+          ++ss.drops.bad_redirect;
           if (obs::enabled()) {
             obs_drops_[4]->add();
-            trace_hop(pkt, at, obs::hop_action::drop,
+            trace_hop(pkt, at, now, obs::hop_action::drop,
                       obs::drop_reason::bad_redirect, 0);
           }
-          pool_.recycle(std::move(pkt));
+          ss.pool.recycle(std::move(pkt));
           return;
         }
         if (pkt.ttl == 0) {
-          ++drops_.ttl_expired;
+          ++ss.drops.ttl_expired;
           if (obs::enabled()) {
             obs_drops_[0]->add();
-            trace_hop(pkt, at, obs::hop_action::drop,
+            trace_hop(pkt, at, now, obs::hop_action::drop,
                       obs::drop_reason::ttl_expired, 0);
           }
-          pool_.recycle(std::move(pkt));
+          ss.pool.recycle(std::move(pkt));
           return;
         }
         --pkt.ttl;
         if (obs::enabled()) {
-          trace_hop(pkt, at, obs::hop_action::redirect,
+          trace_hop(pkt, at, now, obs::hop_action::redirect,
                     obs::drop_reason::none, d.redirect_to);
         }
         forward_to(std::move(pkt), at, d.redirect_to);
@@ -330,13 +418,14 @@ void wan_fabric::arrive(packet pkt, node_id at) {
 
   // Local delivery?
   if (topo_.node_at(at).attached_prefix.contains(pkt.dst)) {
-    ++delivered_;
+    ++ss.delivered;
     if (obs::enabled()) {
       obs_delivered_->add();
-      trace_hop(pkt, at, obs::hop_action::deliver, obs::drop_reason::none, 0);
+      trace_hop(pkt, at, now, obs::hop_action::deliver,
+                obs::drop_reason::none, 0);
     }
-    if (on_deliver_) on_deliver_(pkt, at, sim_.now());
-    pool_.recycle(std::move(pkt));
+    if (on_deliver_) on_deliver_(pkt, at, now);
+    ss.pool.recycle(std::move(pkt));
     return;
   }
 
@@ -348,13 +437,13 @@ void wan_fabric::arrive(packet pkt, node_id at) {
     const flat_route flat = flat_routes_[at * n + dest];
     if (flat.next != invalid_node) {
       if (pkt.ttl == 0) {
-        ++drops_.ttl_expired;
+        ++ss.drops.ttl_expired;
         if (obs::enabled()) {
           obs_drops_[0]->add();
-          trace_hop(pkt, at, obs::hop_action::drop,
+          trace_hop(pkt, at, now, obs::hop_action::drop,
                     obs::drop_reason::ttl_expired, 0);
         }
-        pool_.recycle(std::move(pkt));
+        ss.pool.recycle(std::move(pkt));
         return;
       }
       --pkt.ttl;
@@ -364,23 +453,23 @@ void wan_fabric::arrive(packet pkt, node_id at) {
   }
   const route_entry* entry = tables_[at].lookup_ptr(pkt.dst);
   if (entry == nullptr) {
-    ++drops_.no_route;
+    ++ss.drops.no_route;
     if (obs::enabled()) {
       obs_drops_[2]->add();
-      trace_hop(pkt, at, obs::hop_action::drop, obs::drop_reason::no_route,
-                0);
+      trace_hop(pkt, at, now, obs::hop_action::drop,
+                obs::drop_reason::no_route, 0);
     }
-    pool_.recycle(std::move(pkt));
+    ss.pool.recycle(std::move(pkt));
     return;
   }
   if (pkt.ttl == 0) {
-    ++drops_.ttl_expired;
+    ++ss.drops.ttl_expired;
     if (obs::enabled()) {
       obs_drops_[0]->add();
-      trace_hop(pkt, at, obs::hop_action::drop, obs::drop_reason::ttl_expired,
-                0);
+      trace_hop(pkt, at, now, obs::hop_action::drop,
+                obs::drop_reason::ttl_expired, 0);
     }
-    pool_.recycle(std::move(pkt));
+    ss.pool.recycle(std::move(pkt));
     return;
   }
   --pkt.ttl;

@@ -18,11 +18,13 @@
 
 #include <array>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "network/event_sim.hpp"
+#include "network/shard_engine.hpp"
 #include "network/packet.hpp"
 #include "network/routing.hpp"
 #include "network/topology.hpp"
@@ -68,6 +70,16 @@ class wan_fabric final : public packet_event_sink {
   using hook_fn = std::function<hook_decision(node_id, packet&, double)>;
 
   wan_fabric(simulator& sim, topology topo);
+
+  /// Sharded-mode fabric: the topology is partitioned across the
+  /// engine's shards (partition_topology), a packet crossing a shard
+  /// boundary rides the engine's bounded parcel channels, and
+  /// control-plane work (flaps, reconvergence) runs as coordinator
+  /// global events. The engine's lookahead is set to the minimum
+  /// cross-shard link delay. With a 1-shard engine every code path is
+  /// the classic one — behavior is bit-identical to the simulator
+  /// constructor above.
+  wan_fabric(shard_engine& engine, topology topo);
 
   /// Install shortest-path (by delay) routes for every node pair,
   /// avoiding failed links. Call again after fail_link/restore_link to
@@ -135,14 +147,48 @@ class wan_fabric final : public packet_event_sink {
   void set_bit_error_rate(double ber, std::uint64_t seed);
 
   /// Packets that suffered at least one bit flip so far.
-  [[nodiscard]] std::uint64_t corrupted() const { return corrupted_; }
+  [[nodiscard]] std::uint64_t corrupted() const {
+    std::uint64_t total = 0;
+    for (const auto& s : shard_states_) total += s->corrupted;
+    return total;
+  }
 
   [[nodiscard]] const topology& topo() const { return topo_; }
+  /// Classic mode: the driving simulator. Sharded mode: shard 0 (use
+  /// engine()->run(), not sim().run(), to drive a sharded fabric).
   [[nodiscard]] simulator& sim() { return sim_; }
 
+  // ---------------------------------------------------------- sharding
+  /// More than one shard? (A 1-shard engine still reports false: it is
+  /// the classic datapath in every observable way.)
+  [[nodiscard]] bool sharded() const {
+    return engine_ != nullptr && engine_->shard_count() > 1;
+  }
+  [[nodiscard]] std::size_t shard_count() const {
+    return shard_states_.size();
+  }
+  [[nodiscard]] std::uint32_t shard_of(node_id at) const {
+    return node_shard_[at];
+  }
+  /// The event loop owning `at` (sim() itself in classic mode). Code
+  /// running inside a hook at node X may schedule through sim_for(X)
+  /// only — other shards' queues belong to other threads.
+  [[nodiscard]] simulator& sim_for(node_id at) {
+    return engine_ != nullptr ? engine_->shard(node_shard_[at]) : sim_;
+  }
+  /// The sharded engine, or nullptr for a classic fabric.
+  [[nodiscard]] shard_engine* engine() { return engine_; }
+
   /// Recycled payload buffers: senders can acquire() here so steady-state
-  /// traffic reuses the allocations of delivered/dropped packets.
-  [[nodiscard]] payload_pool& pool() { return pool_; }
+  /// traffic reuses the allocations of delivered/dropped packets. Shard
+  /// 0's pool — setup-time callers only in sharded mode; code running on
+  /// a shard thread must use pool_of(its own node).
+  [[nodiscard]] payload_pool& pool() { return shard_states_[0]->pool; }
+
+  /// The payload pool owned by `at`'s shard (== pool() in classic mode).
+  [[nodiscard]] payload_pool& pool_of(node_id at) {
+    return state_of(at).pool;
+  }
 
   /// Current routing-table next hop at `at` toward `dst` (nullopt when
   /// the table has no route). Lets higher layers — the reliability
@@ -166,16 +212,26 @@ class wan_fabric final : public packet_event_sink {
                        std::uint32_t node) override;
 
   // ------------------------------------------------------------- stats
-  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
-  [[nodiscard]] std::uint64_t dropped() const { return drops_.total(); }
-  /// Per-reason drop breakdown.
-  [[nodiscard]] const drop_stats& drops() const { return drops_; }
-  /// Bytes carried per link index (both directions), for load metrics.
-  [[nodiscard]] const std::vector<double>& link_bytes() const {
-    return link_bytes_;
+  //
+  // Counters live per shard (each mutated only by its owning event
+  // loop); the accessors sum across shards. Integer sums are
+  // order-independent, so the totals are deterministic at any shard
+  // count.
+  [[nodiscard]] std::uint64_t delivered() const {
+    std::uint64_t total = 0;
+    for (const auto& s : shard_states_) total += s->delivered;
+    return total;
   }
+  [[nodiscard]] std::uint64_t dropped() const { return drops().total(); }
+  /// Per-reason drop breakdown (summed across shards).
+  [[nodiscard]] const drop_stats& drops() const;
+  /// Bytes carried per link index (both directions), for load metrics.
+  [[nodiscard]] const std::vector<double>& link_bytes() const;
 
  private:
+  /// Common constructor (exactly one of sim / engine is non-null).
+  wan_fabric(simulator* sim, shard_engine* engine, topology topo);
+
   struct route_entry {
     node_id next = invalid_node;
   };
@@ -203,11 +259,20 @@ class wan_fabric final : public packet_event_sink {
   /// attached prefix covers dst.
   [[nodiscard]] node_id resolve_dest(packet& pkt) const;
 
-  /// Record one lifecycle hop for `pkt` (tracing enabled only).
-  void trace_hop(const packet& pkt, node_id at, obs::hop_action action,
-                 obs::drop_reason reason, std::uint32_t aux);
+  /// Record one lifecycle hop for `pkt` (tracing enabled only). `now_s`
+  /// is the caller's already-loaded shard clock: hot-path call sites
+  /// must not re-read a clock (or evaluate anything else) just to trace.
+  void trace_hop(const packet& pkt, node_id at, double now_s,
+                 obs::hop_action action, obs::drop_reason reason,
+                 std::uint32_t aux);
+
+  /// Control-plane scheduling: a coordinator global event in sharded
+  /// mode, a plain sim_ event otherwise (identical with a 1-shard
+  /// engine — schedule_global forwards to the same queue).
+  void schedule_control(double time_s, simulator::handler fn);
 
   simulator& sim_;
+  shard_engine* engine_ = nullptr;
   topology topo_;
   std::vector<routing_table<route_entry>> tables_;  // one per node
   std::vector<hook_fn> hooks_;                      // one per node (may be null)
@@ -223,24 +288,43 @@ class wan_fabric final : public packet_event_sink {
   /// incident order, or no_link (mirrors egress_link()'s scan).
   std::vector<std::uint32_t> egress_matrix_;
 
-  payload_pool pool_;
+  /// Mutable datapath state owned by one shard's event loop: counters,
+  /// the payload pool, the BER stream and its scratch. Classic fabrics
+  /// have exactly one. Cache-line aligned so two shards' counters never
+  /// false-share.
+  struct alignas(64) shard_state {
+    std::uint64_t delivered = 0;
+    std::uint64_t corrupted = 0;
+    drop_stats drops;
+    payload_pool pool;
+    phot::rng error_gen{0};
+    std::vector<std::uint64_t> flip_scratch;  ///< bit positions of one draw
+  };
+  [[nodiscard]] shard_state& state_of(node_id at) {
+    return *shard_states_[node_shard_[at]];
+  }
 
-  /// Maybe corrupt a packet in flight (failure injection).
-  void apply_bit_errors(packet& pkt);
+  std::vector<std::unique_ptr<shard_state>> shard_states_;
+  std::vector<std::uint32_t> node_shard_;  ///< node -> owning shard
+
+  /// Maybe corrupt a packet in flight (failure injection). `ss` is the
+  /// forwarding shard's state — its BER stream, scratch and counter.
+  void apply_bit_errors(shard_state& ss, packet& pkt);
 
   // Per-link, per-direction transmit availability time (FIFO model).
-  // Direction 0: a->b, 1: b->a.
+  // Direction 0: a->b, 1: b->a. Each direction of a cross-shard link is
+  // written only by the shard owning its sending endpoint.
   std::vector<std::array<double, 2>> link_free_at_;
-  std::vector<double> link_bytes_;
+  /// Bytes carried, split per direction for the same single-writer
+  /// reason; link_bytes() sums a+b in fixed order (wire bytes are
+  /// integer-valued doubles, so the split sum is bit-exact regardless).
+  std::vector<std::array<double, 2>> link_bytes_dir_;
+  mutable std::vector<double> link_bytes_cache_;
+  mutable drop_stats drops_cache_;
 
   double bit_error_rate_ = 0.0;
-  phot::rng error_gen_{0};
-  std::uint64_t corrupted_ = 0;
-  std::vector<std::uint64_t> flip_scratch_;  ///< bit positions of one draw
   std::vector<bool> link_up_;
 
-  std::uint64_t delivered_ = 0;
-  drop_stats drops_;
   std::uint64_t reconvergences_ = 0;
 
   // Observability handles (resolved once; incremented only while
@@ -251,6 +335,9 @@ class wan_fabric final : public packet_event_sink {
   obs::counter* obs_corrupted_ = nullptr;
   obs::counter* obs_reconvergences_ = nullptr;
   std::array<obs::counter*, 5> obs_drops_{};  // indexed like drop_reason-1
+  /// The global tracer, resolved once: tracer::global()'s init-guard
+  /// check is off the per-hop path.
+  obs::tracer* tracer_ = nullptr;
 };
 
 }  // namespace onfiber::net

@@ -1,0 +1,79 @@
+// shard_barrier.hpp — the window handshake between the coordinator and
+// the shard workers.
+//
+// One conservative time window is a four-beat exchange:
+//
+//   1. publish  — the coordinator writes the window bound and bumps the
+//                 command generation (workers wake via atomic notify);
+//   2. execute  — every worker drains its local event queue strictly
+//                 below the bound, pushing cross-shard parcels;
+//   3. arrive   — a finished worker reports done, then keeps *draining
+//                 its inbound channels* while it waits: a producer
+//                 stalled on a full channel can only make progress if
+//                 its consumer keeps popping, so the wait loop is where
+//                 backpressure liveness comes from;
+//   4. quiesce  — once every worker has arrived (so no parcel can still
+//                 be produced), the coordinator asks the workers to stop
+//                 touching the channels and acknowledge; after the last
+//                 ack the coordinator owns every channel and staging
+//                 buffer exclusively and can merge parcels
+//                 deterministically.
+//
+// All beats are generation-numbered acquire/release atomics — no locks
+// anywhere near the per-window path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace onfiber::net {
+
+/// Per-worker mailbox for the window handshake. Cache-line separated so
+/// workers never false-share their progress counters.
+struct alignas(64) shard_mailbox {
+  /// Window bound, valid for command generation `cmd`. Written by the
+  /// coordinator strictly before the cmd store that publishes it.
+  double window_end = 0.0;
+  std::atomic<std::uint64_t> cmd{0};       ///< coordinator -> worker
+  std::atomic<std::uint64_t> done{0};      ///< worker -> coordinator
+  std::atomic<std::uint64_t> quiesced{0};  ///< worker saw the quiesce beat
+  std::atomic<bool> stop{false};
+
+  /// Events the worker executed in the window it just reported done.
+  std::uint64_t executed = 0;
+  /// Full-channel push retries this worker has suffered (cumulative).
+  /// Plain field: only the owning worker writes it during a window, and
+  /// the coordinator reads it after the done handshake (or writes it
+  /// itself while every worker is parked at a global event).
+  std::uint64_t stalls = 0;
+
+  void publish(double end_s, std::uint64_t generation) {
+    window_end = end_s;
+    cmd.store(generation, std::memory_order_release);
+    cmd.notify_one();
+  }
+
+  /// Worker blocks here between windows (futex wait, no spinning while
+  /// the engine is idle between run() calls).
+  std::uint64_t await_command(std::uint64_t last_seen) const {
+    std::uint64_t g = cmd.load(std::memory_order_acquire);
+    while (g == last_seen) {
+      cmd.wait(last_seen, std::memory_order_acquire);
+      g = cmd.load(std::memory_order_acquire);
+    }
+    return g;
+  }
+};
+
+/// Spin until `pred()` holds, yielding after a burst of pause-loops so a
+/// short wait stays on-core and a long one cedes the CPU.
+template <class Pred>
+inline void spin_until(Pred&& pred) {
+  for (std::uint32_t spins = 0; !pred(); ++spins) {
+    if (spins < 64) continue;
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace onfiber::net

@@ -233,4 +233,96 @@ topology make_waxman_topology(std::size_t n, std::uint64_t seed, double alpha,
   return t;
 }
 
+std::vector<std::uint32_t> partition_topology(const topology& topo,
+                                              std::size_t shards) {
+  const std::size_t n = topo.node_count();
+  std::vector<std::uint32_t> part(n, 0);
+  if (shards <= 1 || n <= 1) return part;
+  const auto k = static_cast<std::uint32_t>(std::min(shards, n));
+
+  // Degree census: chains and rings (max degree 2) get the exact
+  // contiguous cut; everything else goes through the heuristic below.
+  std::size_t max_degree = 0;
+  for (node_id u = 0; u < n; ++u) {
+    max_degree = std::max(max_degree, topo.incident_links(u).size());
+  }
+  if (max_degree <= 2) {
+    for (node_id u = 0; u < n; ++u) {
+      part[u] = static_cast<std::uint32_t>(
+          static_cast<std::size_t>(u) * k / n);
+    }
+    return part;
+  }
+
+  // Mesh: grow k regions of ~equal size by BFS, seeding each from the
+  // lowest-id unassigned node. BFS frontiers are id-ordered queues, so
+  // the result is deterministic.
+  constexpr std::uint32_t unassigned = ~std::uint32_t{0};
+  part.assign(n, unassigned);
+  std::vector<std::size_t> shard_size(k, 0);
+  const std::size_t target = (n + k - 1) / k;
+  node_id scan = 0;
+  for (std::uint32_t s = 0; s < k; ++s) {
+    while (scan < n && part[scan] != unassigned) ++scan;
+    if (scan >= n) break;
+    std::vector<node_id> frontier{scan};
+    part[scan] = s;
+    ++shard_size[s];
+    for (std::size_t head = 0;
+         head < frontier.size() && shard_size[s] < target; ++head) {
+      const node_id u = frontier[head];
+      for (const std::size_t li : topo.incident_links(u)) {
+        const node_id v = topo.neighbor(u, li);
+        if (part[v] != unassigned || shard_size[s] >= target) continue;
+        part[v] = s;
+        ++shard_size[s];
+        frontier.push_back(v);
+      }
+    }
+  }
+  // Disconnected leftovers (BFS exhausted early): pack into the
+  // emptiest shard, lowest index winning ties.
+  for (node_id u = 0; u < n; ++u) {
+    if (part[u] != unassigned) continue;
+    std::uint32_t best = 0;
+    for (std::uint32_t s = 1; s < k; ++s) {
+      if (shard_size[s] < shard_size[best]) best = s;
+    }
+    part[u] = best;
+    ++shard_size[best];
+  }
+
+  // Min-cut refinement: move boundary nodes to the neighboring shard
+  // holding most of their edges when that strictly cuts fewer links and
+  // keeps both parts' sizes within [target/2, target+1]. Two id-ordered
+  // passes catch the bulk of BFS's ragged frontiers.
+  const std::size_t floor_size = std::max<std::size_t>(1, target / 2);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (node_id u = 0; u < n; ++u) {
+      const std::uint32_t home = part[u];
+      if (shard_size[home] <= floor_size) continue;
+      // Count u's links into each adjacent shard.
+      std::vector<std::size_t> pull(k, 0);
+      for (const std::size_t li : topo.incident_links(u)) {
+        ++pull[part[topo.neighbor(u, li)]];
+      }
+      std::uint32_t best = home;
+      for (std::uint32_t s = 0; s < k; ++s) {
+        if (s == home || pull[s] == 0) continue;
+        if (shard_size[s] >= target + 1) continue;
+        if (pull[s] > pull[best] ||
+            (pull[s] == pull[best] && s < best)) {
+          best = s;
+        }
+      }
+      if (best != home && pull[best] > pull[home]) {
+        part[u] = best;
+        --shard_size[home];
+        ++shard_size[best];
+      }
+    }
+  }
+  return part;
+}
+
 }  // namespace onfiber::net

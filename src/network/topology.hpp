@@ -128,4 +128,22 @@ class topology {
                                             double beta = 0.25,
                                             double span_km = 3000.0);
 
+// ---------------------------------------------------------- partitioning
+
+/// Deterministic node -> shard assignment for the sharded event engine.
+/// Every node is assigned a shard in [0, shards); shard sizes differ by
+/// at most one for path-like graphs and stay balanced for meshes.
+///
+/// Strategy: a graph whose nodes all have degree <= 2 (chain or ring) is
+/// cut into contiguous id blocks — for the id-ordered chains the
+/// builders produce this is the minimum cut outright. Anything else gets
+/// a greedy min-cut heuristic: BFS-grown regions of target size seeded
+/// from the lowest unassigned id, then boundary-refinement passes that
+/// move a node to a neighboring shard when that strictly reduces the
+/// number of cut links without unbalancing the parts. Purely structural
+/// and id-ordered, so the partition is a pure function of (topology,
+/// shards).
+[[nodiscard]] std::vector<std::uint32_t> partition_topology(
+    const topology& topo, std::size_t shards);
+
 }  // namespace onfiber::net

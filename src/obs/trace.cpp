@@ -1,6 +1,13 @@
 #include "obs/trace.hpp"
 
+#include <cstring>
+#include <type_traits>
+
 namespace onfiber::obs {
+
+static_assert(sizeof(hop_record) == 24,
+              "hop_record must stay 3 words for the lock-free ring");
+static_assert(std::is_trivially_copyable_v<hop_record>);
 
 const char* to_string(hop_action a) {
   switch (a) {
@@ -27,6 +34,8 @@ const char* to_string(drop_reason r) {
   return "?";
 }
 
+tracer::tracer() : slots_(new slot[kDefaultCapacity]()) {}
+
 tracer& tracer::global() {
   static tracer t;
   return t;
@@ -35,9 +44,8 @@ tracer& tracer::global() {
 void tracer::set_capacity(std::size_t n) {
   std::lock_guard<std::mutex> lock(m_);
   capacity_ = n == 0 ? 1 : n;
-  ring_.clear();
-  ring_.shrink_to_fit();
-  total_ = 0;
+  slots_.reset(new slot[capacity_]());
+  total_.store(0, std::memory_order_release);
 }
 
 std::size_t tracer::capacity() const {
@@ -46,38 +54,51 @@ std::size_t tracer::capacity() const {
 }
 
 std::uint32_t tracer::next_trace_id() {
-  std::lock_guard<std::mutex> lock(m_);
-  return ++next_id_;
+  return next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 void tracer::record(const hop_record& r) {
-  std::lock_guard<std::mutex> lock(m_);
-  if (ring_.size() < capacity_) {
-    // Fill phase: the ring grows once up to capacity, then stays put.
-    ring_.push_back(r);
-  } else {
-    ring_[total_ % capacity_] = r;
+  // Ticket reservation: distinct records land in distinct slots (until
+  // wraparound laps them, by which point the old record is garbage
+  // anyway). The release pairs with snapshot's acquire on total_ so a
+  // quiescent snapshot sees every completed record.
+  std::uint64_t words[kWords];
+  std::memcpy(words, &r, sizeof(words));
+  const std::uint64_t ticket =
+      total_.fetch_add(1, std::memory_order_release);
+  slot& s = slots_[ticket % capacity_];
+  for (std::size_t i = 0; i < kWords; ++i) {
+    s.w[i].store(words[i], std::memory_order_relaxed);
   }
-  ++total_;
 }
 
 std::uint64_t tracer::total_recorded() const {
-  std::lock_guard<std::mutex> lock(m_);
-  return total_;
+  return total_.load(std::memory_order_acquire);
+}
+
+hop_record tracer::load_slot(std::size_t i) const {
+  std::uint64_t words[kWords];
+  for (std::size_t k = 0; k < kWords; ++k) {
+    words[k] = slots_[i].w[k].load(std::memory_order_relaxed);
+  }
+  hop_record r;
+  std::memcpy(&r, words, sizeof(r));
+  return r;
 }
 
 std::vector<hop_record> tracer::snapshot() const {
   std::lock_guard<std::mutex> lock(m_);
+  const std::uint64_t total = total_.load(std::memory_order_acquire);
+  const std::size_t kept =
+      static_cast<std::size_t>(total < capacity_ ? total : capacity_);
   std::vector<hop_record> out;
-  out.reserve(ring_.size());
-  if (total_ <= ring_.size()) {
-    out = ring_;
-  } else {
-    const std::size_t head = total_ % capacity_;  // oldest record
-    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head),
-               ring_.end());
-    out.insert(out.end(), ring_.begin(),
-               ring_.begin() + static_cast<std::ptrdiff_t>(head));
+  out.reserve(kept);
+  // Oldest record lives at total % capacity once the ring has wrapped,
+  // at 0 before that.
+  const std::size_t head =
+      total <= capacity_ ? 0 : static_cast<std::size_t>(total % capacity_);
+  for (std::size_t i = 0; i < kept; ++i) {
+    out.push_back(load_slot((head + i) % capacity_));
   }
   return out;
 }
@@ -92,9 +113,8 @@ std::vector<hop_record> tracer::packet_life(std::uint32_t trace_id) const {
 
 void tracer::clear() {
   std::lock_guard<std::mutex> lock(m_);
-  ring_.clear();
-  total_ = 0;
-  next_id_ = 0;
+  total_.store(0, std::memory_order_release);
+  next_id_.store(0, std::memory_order_release);
 }
 
 }  // namespace onfiber::obs

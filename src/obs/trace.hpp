@@ -5,18 +5,32 @@
 // process-unique trace_id (net::packet::trace_id); the fabric and the
 // on-fiber runtime then append one hop_record per meaningful event —
 // inject, forward, redirect, compute, batch, deliver, drop (with a
-// reason). The ring is fixed-capacity: recording never allocates after
-// the first record (the buffer is laid out once), old records are
-// overwritten, and total_recorded() keeps the true event count so
-// wraparound is observable. tools/onfiber_trace pretty-prints a
-// packet's life from these records.
+// reason). The ring is fixed-capacity: the slot array is laid out once
+// (at construction or set_capacity), recording never allocates, old
+// records are overwritten, and total_recorded() keeps the true event
+// count so wraparound is observable. tools/onfiber_trace pretty-prints
+// a packet's life from these records.
+//
+// Concurrency: record() and next_trace_id() are lock-free — a single
+// fetch_add reserves a ticket, and the 24-byte record is stored into
+// its slot as three relaxed atomic words. This keeps tracing off the
+// hot path's lock ranks and makes it safe to call from every shard
+// thread of the sharded event engine concurrently. snapshot(), clear()
+// and set_capacity() serialize against each other with a mutex;
+// reconfiguring (clear / set_capacity) while threads are still
+// recording is not supported. A snapshot taken while recording is in
+// flight is safe (no torn words, no UB) but may observe a slot
+// mid-overwrite after wraparound; take snapshots at quiescence for
+// exact results — every in-tree consumer does.
 //
 // Determinism contract: recording only *reads* simulation state. No
 // events are scheduled, no RNG is touched, so enabling the tracer
 // cannot move a single delivery timestamp.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -65,17 +79,21 @@ class tracer {
  public:
   static constexpr std::size_t kDefaultCapacity = 8192;
 
+  tracer();
+
   [[nodiscard]] static tracer& global();
 
   /// Resize the ring (drops existing records). Capacity 0 is clamped
-  /// to 1.
+  /// to 1. Must not run concurrently with record().
   void set_capacity(std::size_t n);
   [[nodiscard]] std::size_t capacity() const;
 
   /// Allocate a fresh packet trace id (1-based; 0 means "untraced").
+  /// Lock-free.
   [[nodiscard]] std::uint32_t next_trace_id();
 
   /// Append one record, overwriting the oldest once the ring is full.
+  /// Lock-free; safe from concurrent shard threads.
   void record(const hop_record& r);
 
   /// Records ever appended (>= snapshot().size(); the difference is
@@ -89,15 +107,26 @@ class tracer {
   [[nodiscard]] std::vector<hop_record> packet_life(
       std::uint32_t trace_id) const;
 
-  /// Drop all records and restart trace-id allocation at 1.
+  /// Drop all records and restart trace-id allocation at 1. Must not
+  /// run concurrently with record().
   void clear();
 
  private:
-  mutable std::mutex m_;
-  std::vector<hop_record> ring_;
+  /// One ring slot: a hop_record stored as three relaxed atomic words
+  /// so concurrent writers (distinct tickets) and snapshot readers
+  /// never race. kWords * 8 == sizeof(hop_record).
+  static constexpr std::size_t kWords = 3;
+  struct slot {
+    std::atomic<std::uint64_t> w[kWords];
+  };
+
+  [[nodiscard]] hop_record load_slot(std::size_t i) const;
+
+  mutable std::mutex m_;  ///< serializes snapshot/clear/set_capacity
+  std::unique_ptr<slot[]> slots_;
   std::size_t capacity_ = kDefaultCapacity;
-  std::uint64_t total_ = 0;
-  std::uint32_t next_id_ = 0;
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint32_t> next_id_{0};
 };
 
 }  // namespace onfiber::obs
