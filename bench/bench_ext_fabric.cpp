@@ -65,8 +65,7 @@ sweep_result run_chain(std::size_t nodes, std::size_t payload_bytes,
     for (int i = 0; i < count; ++i) {
       net::packet pkt;
       pkt.src = src;
-      pkt.dst = dst;
-      pkt.ttl = 255;  // the 128-node chain needs 127 hops
+      pkt.dst = dst;  // send() stamps recommended_ttl(): 127 hops survive
       pkt.payload = fabric.pool().acquire();
       pkt.payload.assign(payload_bytes, 0xab);
       fabric.send(std::move(pkt), 0);
@@ -216,10 +215,14 @@ int main(int argc, char** argv) {
       const int n = std::atoi(env);
       if (n > 1) shard_counts = {1, static_cast<std::size_t>(n)};
     }
-    // Parallel speedup is bounded by the machine: record the core count
+    // Parallel speedup is bounded by the machine: record both the raw
+    // hardware thread count and the CPUs this process may actually use
+    // (the affinity mask — containers and CI runners often pin fewer)
     // next to the shard keys so the numbers stay interpretable.
     report.set("fabric.shards.hw_concurrency",
                static_cast<double>(std::thread::hardware_concurrency()));
+    report.set("fabric.shards.cpu_affinity",
+               static_cast<double>(cpu_affinity_count()));
     const int total = 4 * kPackets;
     double base = 0.0;
     for (const std::size_t shards : shard_counts) {

@@ -14,6 +14,11 @@
 // exponential backoff, and repeated timeouts trigger controller-driven
 // failover to the alternate compute site. Counters land in
 // BENCH_robustness.json via --json.
+//
+// Part 3 repeats the reliable flap run on the sharded parallel engine
+// at 1/2/4 shards: completion, retransmit, and failover counts must not
+// move with the shard count (robustness.shards*.{...} keys — the
+// baseline script presence-checks them).
 #include <cstdio>
 
 #include "apps/ml_inference.hpp"
@@ -21,6 +26,7 @@
 #include "core/compute_packets.hpp"
 #include "core/runtime.hpp"
 #include "digital/dnn.hpp"
+#include "network/shard_engine.hpp"
 #include "obs/exporter.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -101,6 +107,50 @@ flap_outcome run_flap_scenario(bool reliable,
   if (out) *out = rt.reliability();
   if (baseline_drops) *baseline_drops = rt.fabric().drops();
   return o;
+}
+
+/// Part 3: the same reliable flap scenario on the sharded parallel
+/// engine. Submissions enter through schedule_global (the control-plane
+/// clock); tasks are owned by the submitting node's shard and acks ride
+/// the cross-shard parcel channels.
+core::onfiber_runtime::reliability_stats run_flap_reliable_sharded(
+    std::size_t shards, const digital::dataset& data,
+    const digital::dnn_model& model) {
+  net::shard_engine engine(shards);
+  core::onfiber_runtime rt(engine, net::make_figure1_topology());
+  rt.deploy_engine(1, {}, 11).configure_dnn(apps::to_photonic_task(model));
+  rt.deploy_engine(2, {}, 12).configure_dnn(apps::to_photonic_task(model));
+  rt.install_compute_routes_via_nearest_site();
+
+  const net::wan_fabric::link_flap flaps[] = {
+      {0, 0.020, 0.060},  // A-B
+      {2, 0.030, 0.070},  // B-D
+  };
+  rt.fabric().schedule_flaps(flaps, 0.005, /*jitter_seed=*/13,
+                             /*reconvergence_jitter_s=*/0.001);
+
+  core::onfiber_runtime::reliability_config cfg;
+  cfg.initial_rto_s = 0.020;
+  cfg.backoff = 2.0;
+  cfg.max_retries = 6;
+  cfg.failover_after = 2;
+  rt.enable_reliability(cfg);
+
+  for (int i = 0; i < kPackets; ++i) {
+    engine.schedule_global(1e-3 * i, [&rt, &data, &model, i] {
+      rt.submit_reliable(
+          core::make_dnn_request(
+              rt.fabric().topo().node_at(0).address,
+              rt.fabric().topo().node_at(3).address,
+              data.samples[static_cast<std::size_t>(i) %
+                           data.samples.size()],
+              model.output_dim(), static_cast<std::uint32_t>(i)),
+          0);
+    });
+  }
+  engine.run(2'000'000);
+  if (engine.overran()) note("WARNING: event cap hit (runaway schedule?)");
+  return rt.reliability();
 }
 
 }  // namespace
@@ -245,6 +295,31 @@ int main(int argc, char** argv) {
       [&report](const std::string& key, double value) {
         report.set(key, value);
       });
+
+  // -------------------------------------- part 3: sharded reliability
+  banner("E26c / sharded reliability",
+         "flap recovery on the parallel engine (1/2/4 shards)");
+  note("same scenario, per-shard task tables, acks over parcel channels;");
+  note("counters must not move with the shard count");
+  std::printf("  %8s %10s %10s %10s %10s %14s\n", "shards", "completed",
+              "rate", "retries", "failovers", "max latency");
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{4}}) {
+    const auto s = run_flap_reliable_sharded(shards, data, model);
+    std::printf("  %8zu %10llu %9.1f%% %10llu %10llu %14s\n", shards,
+                static_cast<unsigned long long>(s.completed),
+                100.0 * static_cast<double>(s.completed) / kPackets,
+                static_cast<unsigned long long>(s.retransmits),
+                static_cast<unsigned long long>(s.failovers),
+                fmt_time(s.max_completion_s).c_str());
+    const std::string prefix = "robustness.shards" + std::to_string(shards);
+    report.set(prefix + ".completed", static_cast<double>(s.completed));
+    report.set(prefix + ".failed", static_cast<double>(s.failed));
+    report.set(prefix + ".retransmits", static_cast<double>(s.retransmits));
+    report.set(prefix + ".failovers", static_cast<double>(s.failovers));
+    report.set(prefix + ".max_completion_ms", s.max_completion_s * 1e3);
+  }
+
   if (!report.write()) {
     note("WARNING: could not write the JSON report");
   }

@@ -44,6 +44,17 @@ for key in fabric.shards1.packets_per_s fabric.shards2.packets_per_s \
   fi
 done
 
+# The sharded-reliability sweep must have recorded its per-shard-count
+# completion keys: a missing one means part 3 silently skipped a shard
+# count (or the bench predates shard-aware reliability).
+for key in robustness.shards1.completed robustness.shards2.completed \
+           robustness.shards4.completed; do
+  if ! grep -q "\"$key\"" "$ROBUSTNESS_OUT"; then
+    echo "bench_baseline: missing key $key in $ROBUSTNESS_OUT" >&2
+    exit 1
+  fi
+done
+
 # The observability plane must have merged its counters into the bench
 # reports (obs.* keys from exporter::append_flat). A missing key means a
 # bench ran with the obs spot-check phase dropped or the plane silently

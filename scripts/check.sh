@@ -23,6 +23,12 @@ ctest --preset asan -j"$(nproc)"
 ONFIBER_TRACE=1 ctest --preset asan --no-tests=error \
   -R 'DatapathDeterminism|Obs' -j"$(nproc)"
 
+# Sharded-reliability asan gate: the reliability layer's per-shard task
+# tables, cross-shard ack handoff, and failover planning re-run with an
+# extra ONFIBER_SHARDS=4 sweep entry under Address/UB sanitizers.
+ONFIBER_SHARDS=4 ctest --preset asan --no-tests=error \
+  -R 'Reliability|Sharded'
+
 # Thread-sanitizer pass over the worker-pool surface: the persistent
 # pool, batched GEMM/engine paths, and the two-pass kernels run under
 # -fsanitize=thread to catch data races the deterministic fold could
@@ -32,12 +38,13 @@ cmake --build --preset tsan -j"$(nproc)"
 ctest --preset tsan --no-tests=error \
   -R 'PoolDeterminism|TwoPassKernels|BatchedEngine|Batching|Parallel'
 
-# Sharded-engine tsan gate: the determinism suite re-runs with an extra
-# ONFIBER_SHARDS=4 sweep entry, and the fabric bench drives the sharded
-# sweep end to end (shrunk packet budget — full-size sweeps under tsan
-# take minutes). Any cross-shard race in the window barrier, the SPSC
-# channels, or the lock-free tracer fails here.
-ONFIBER_SHARDS=4 ctest --preset tsan --no-tests=error -R 'Sharded'
+# Sharded-engine tsan gate: the determinism and reliability suites
+# re-run with an extra ONFIBER_SHARDS=4 sweep entry, and the fabric
+# bench drives the sharded sweep end to end (shrunk packet budget —
+# full-size sweeps under tsan take minutes). Any cross-shard race in
+# the window barrier, the SPSC channels, the per-shard reliability
+# tables, or the lock-free tracer fails here.
+ONFIBER_SHARDS=4 ctest --preset tsan --no-tests=error -R 'Sharded|Reliability'
 ONFIBER_SHARDS=4 ONFIBER_FABRIC_PACKETS=2000 ONFIBER_TRACE=1 \
   ./build-tsan/bench/bench_ext_fabric --json /tmp/bench_fabric_tsan.json \
   > /dev/null

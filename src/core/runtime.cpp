@@ -27,6 +27,10 @@ void onfiber_runtime::init() {
   compute_tables_.resize(fabric_.topo().node_count());
   shard_deliveries_.resize(fabric_.shard_count());
   shard_stats_.resize(fabric_.shard_count());
+  rel_shards_.reserve(fabric_.shard_count());
+  for (std::size_t i = 0; i < fabric_.shard_count(); ++i) {
+    rel_shards_.push_back(std::make_unique<rel_shard>());
+  }
   fabric_.install_shortest_path_routes();
   // Keep route-derived steering state in sync with the routing plane:
   // every reconvergence (scheduled flaps included) refreshes the
@@ -101,26 +105,34 @@ void onfiber_runtime::rebuild_spread_tables() {
   }
 }
 
-void onfiber_runtime::remember_completed(std::uint32_t task_id) {
-  if (completed_history_set_.contains(task_id)) return;
-  if (completed_history_ring_.size() < kCompletedHistory) {
-    completed_history_ring_.push_back(task_id);
+onfiber_runtime::rel_shard* onfiber_runtime::owner_shard_of(
+    std::uint32_t task_id) {
+  const auto it = task_ingress_.find(task_id);
+  if (it == task_ingress_.end()) return nullptr;
+  return rel_shards_[fabric_.shard_of(it->second)].get();
+}
+
+void onfiber_runtime::remember_delivered(rel_shard& rs,
+                                         std::uint32_t task_id) {
+  if (rs.delivered_set.contains(task_id)) return;
+  if (rs.delivered_ring.size() < kCompletedHistory) {
+    rs.delivered_ring.push_back(task_id);
   } else {
-    completed_history_set_.erase(
-        completed_history_ring_[completed_history_next_]);
-    completed_history_ring_[completed_history_next_] = task_id;
+    rs.delivered_set.erase(rs.delivered_ring[rs.delivered_next]);
+    rs.delivered_ring[rs.delivered_next] = task_id;
   }
-  completed_history_next_ =
-      (completed_history_next_ + 1) % kCompletedHistory;
-  completed_history_set_.insert(task_id);
+  rs.delivered_next = (rs.delivered_next + 1) % kCompletedHistory;
+  rs.delivered_set.insert(task_id);
 }
 
 void onfiber_runtime::forget_completed(std::uint32_t task_id) {
   // Legal task-id reuse after completion: the old completion must not
   // make the new task's deliveries look like duplicates. The stale ring
-  // slot stays behind but is harmless — remember_completed() skips ids
+  // slots stay behind but are harmless — remember_delivered() skips ids
   // already in the set, and the erase below removes set membership.
-  completed_history_set_.erase(task_id);
+  // Safe to touch every shard's bucket: submit_reliable is control
+  // plane, so no shard thread is running.
+  for (auto& rs : rel_shards_) rs->delivered_set.erase(task_id);
 }
 
 void onfiber_runtime::sample_site_timeline(net::node_id at, const site& s,
@@ -138,9 +150,29 @@ void onfiber_runtime::sample_site_timeline(net::node_id at, const site& s,
 void onfiber_runtime::on_delivery(const net::packet& pkt, net::node_id at,
                                   double now) {
   const auto h = proto::peek_compute_header(pkt);
-  // Acks are control plane: complete the task, record nothing.
+  // Acks are control plane: complete the task, record nothing. The
+  // task's table lives on the shard of its ingress node; when the ack
+  // lands there (the common case — requesters address replies to their
+  // ingress), completion is a plain local call, bit-identical to the
+  // classic engine. An ack landing elsewhere hands off via an engine
+  // parcel one lookahead later (note.created_s carries the true ack
+  // arrival time for the latency stats; a retry timer firing inside
+  // that handoff window can cause one benign extra retransmit).
   if (h && h->is_ack()) {
-    complete_task(h->task_id, now);
+    const auto owner = task_ingress_.find(h->task_id);
+    if (owner == task_ingress_.end()) return;  // never submitted here
+    const std::uint32_t owner_shard = fabric_.shard_of(owner->second);
+    if (!fabric_.sharded() || owner_shard == fabric_.shard_of(at)) {
+      complete_task(h->task_id, now);
+      return;
+    }
+    net::packet note;
+    note.id = h->task_id;
+    note.created_s = now;
+    fabric_.engine()->emit_parcel(fabric_.shard_of(at), owner_shard,
+                                  now + fabric_.engine()->lookahead(),
+                                  std::move(note), owner->second,
+                                  op_complete_task, this);
     return;
   }
   if (h && h->requires_compute() && !h->has_result()) {
@@ -149,60 +181,53 @@ void onfiber_runtime::on_delivery(const net::packet& pkt, net::node_id at,
   }
   shard_deliveries_[fabric_.shard_of(at)].push_back(delivery{pkt, at, now});
 
-  if (!reliability_enabled_ || !h) return;
-  const auto it = pending_.find(h->task_id);
-  if (it == pending_.end()) {
-    // The ack already completed this task and erased its entry; a late
-    // retransmit landing now is still a duplicate delivery and must be
-    // counted (it used to silently vanish). Raw arrivals of a compute
-    // task are not duplicates — mirror the in-flight semantics below.
-    if (h->requires_compute() && !h->has_result()) return;
-    if (recently_completed(h->task_id)) {
-      ++reliability_stats_.duplicate_deliveries;
-      if (obs::enabled()) obs_rel_duplicates_->add();
-    }
-    return;
-  }
-  pending_task& task = it->second;
-  // A task that demanded compute but arrived raw is not done — leave the
-  // timer running so the retry (and eventually failover to a capable
+  // Destination side of the reliability layer — stateless with respect
+  // to the task table: the wire's flag_tracked bit identifies tracked
+  // traffic, so acking and duplicate accounting are decided on the
+  // delivering shard alone.
+  if (!reliability_enabled_ || !h || !h->is_tracked()) return;
+  // A task that demanded compute but arrived raw is not done — no ack,
+  // no history; the retry timer (and eventually failover to a capable
   // site) gets another chance at the computation.
   if (h->requires_compute() && !h->has_result()) return;
-  if (task.delivered) {
-    ++reliability_stats_.duplicate_deliveries;
+  rel_shard& rs = *rel_shards_[fabric_.shard_of(at)];
+  if (recently_delivered(rs, h->task_id)) {
+    ++rs.stats.duplicate_deliveries;
     if (obs::enabled()) obs_rel_duplicates_->add();
+  } else {
+    remember_delivered(rs, h->task_id);
   }
-  task.delivered = true;
-  // Emit the end-to-end ack back to the task source. The ack is a
-  // header-only compute packet riding the same fabric, so it shares the
-  // data plane's fate: it queues, it can be black-holed by a dead link,
-  // and a lost ack simply lets the retransmit timer fire (the duplicate
-  // delivery re-acks).
+  // Emit the end-to-end ack back to the packet's source — every result
+  // delivery re-acks, so a lost first ack is repaired by the retransmit
+  // round-trip. The ack is a header-only compute packet riding the same
+  // fabric: it queues, it crosses shard boundaries as a parcel, it can
+  // be black-holed by a dead link.
   net::packet ack;
   ack.payload = fabric_.pool_of(at).acquire();  // recycled allocation if any
   ack.src = fabric_.topo().node_at(at).address;
-  ack.dst = task.reply_to;
+  ack.dst = pkt.src;
   proto::compute_header ah;
-  ah.primitive = task.primitive;
+  ah.primitive = h->primitive;
   ah.task_id = h->task_id;
   ah.flags = proto::flag_ack | proto::flag_has_result;
   proto::attach_compute_header(ack, ah);
   ack.flow_hash = net::flow_hash_of(
       ack.src, ack.dst, 7002, 7003, static_cast<std::uint8_t>(ack.proto));
-  ++reliability_stats_.acks_sent;
+  ++rs.stats.acks_sent;
   if (obs::enabled()) obs_rel_acks_->add();
   fabric_.send(std::move(ack), at);
 }
 
-void onfiber_runtime::enable_reliability(reliability_config cfg) {
-  if (fabric_.sharded()) {
-    // The task table is written from delivery events (destination shard)
-    // and retry timers (ingress shard) — inherently cross-shard mutable
-    // state. Reliability runs on classic or 1-shard fabrics only.
-    throw std::logic_error(
-        "onfiber_runtime: the reliability layer requires a single-shard "
-        "fabric");
+void onfiber_runtime::on_packet_event(std::uint8_t op, net::packet&& pkt,
+                                      std::uint32_t /*node*/) {
+  // Cross-shard completion handoff (see on_delivery's ack branch): the
+  // parcel's id names the task, created_s the true ack arrival time.
+  if (op == op_complete_task) {
+    complete_task(static_cast<std::uint32_t>(pkt.id), pkt.created_s);
   }
+}
+
+void onfiber_runtime::enable_reliability(reliability_config cfg) {
   if (cfg.initial_rto_s <= 0.0 || cfg.backoff < 1.0 || cfg.max_retries < 0 ||
       cfg.failover_after < 1) {
     throw std::invalid_argument("onfiber_runtime: bad reliability config");
@@ -222,26 +247,36 @@ std::uint32_t onfiber_runtime::submit_reliable(net::packet pkt,
     throw std::invalid_argument(
         "submit_reliable: packet carries no valid compute header");
   }
-  if (pending_.contains(h->task_id)) {
+  rel_shard* prev_owner = owner_shard_of(h->task_id);
+  if (prev_owner != nullptr && prev_owner->pending.contains(h->task_id)) {
     throw std::invalid_argument(
         "submit_reliable: task_id already in flight");
   }
+  // Mark the request tracked on the wire: the destination shard decides
+  // acking and duplicate accounting from this bit alone (and every
+  // retransmit copies it along).
+  proto::compute_header tracked = *h;
+  tracked.flags |= proto::flag_tracked;
+  proto::rewrite_compute_header(pkt, tracked);
+
+  const std::uint32_t owner_shard = fabric_.shard_of(ingress);
+  rel_shard& rs = *rel_shards_[owner_shard];
   pending_task task;
-  task.reply_to = pkt.src;
   task.request = std::move(pkt);
   task.ingress = ingress;
   task.primitive = h->primitive;
   task.rto_s = reliability_cfg_.initial_rto_s;
-  task.submitted_s = sim_.now();
+  task.submitted_s = sim_for(ingress).now();
   // The id is live again: its previous completion (if any) must not make
   // this task's deliveries look like duplicates.
   forget_completed(h->task_id);
-  const auto [it, inserted] = pending_.emplace(h->task_id, std::move(task));
-  ++reliability_stats_.submitted;
+  task_ingress_[h->task_id] = ingress;
+  const auto [it, inserted] = rs.pending.emplace(h->task_id, std::move(task));
+  ++rs.stats.submitted;
   if (obs::enabled()) obs_rel_submitted_->add();
-  trace_.push_back(reliability_event{reliability_event::kind::submit,
-                                     h->task_id, sim_.now(),
-                                     net::invalid_node});
+  rs.trace.push_back(reliability_event{reliability_event::kind::submit,
+                                       h->task_id, sim_for(ingress).now(),
+                                       net::invalid_node});
   send_tracked(it->second, h->task_id);
   return h->task_id;
 }
@@ -250,27 +285,38 @@ void onfiber_runtime::send_tracked(pending_task& task,
                                    std::uint32_t task_id) {
   ++task.generation;
   net::packet copy = task.request;
+  // The failover pin rides the packet (see packet::pinned_site): every
+  // node's hook can steer this copy toward the alternate site without
+  // consulting the owner shard's table.
+  copy.pinned_site = task.pinned_site;
   fabric_.send(std::move(copy), task.ingress);
-  sim_.schedule(task.rto_s, [this, task_id, gen = task.generation] {
-    on_timeout(task_id, gen);
-  });
+  // Retransmit timer on the owning shard's event loop: it fires on the
+  // same thread that owns the task entry, and the retransmit re-enters
+  // the fabric at the ingress — also owner-shard-local.
+  sim_for(task.ingress)
+      .schedule(task.rto_s, [this, task_id, gen = task.generation] {
+        on_timeout(task_id, gen);
+      });
 }
 
 void onfiber_runtime::on_timeout(std::uint32_t task_id,
                                  std::uint64_t generation) {
-  const auto it = pending_.find(task_id);
-  if (it == pending_.end()) return;  // acked in the meantime
+  rel_shard* owner = owner_shard_of(task_id);
+  if (owner == nullptr) return;
+  rel_shard& rs = *owner;
+  const auto it = rs.pending.find(task_id);
+  if (it == rs.pending.end()) return;  // acked in the meantime
   pending_task& task = it->second;
   if (task.generation != generation) return;  // stale timer
+  const double now = sim_for(task.ingress).now();
 
   if (task.attempts >= reliability_cfg_.max_retries) {
     // Terminal failure: retries exhausted.
-    trace_.push_back(reliability_event{reliability_event::kind::fail,
-                                       task_id, sim_.now(),
-                                       net::invalid_node});
-    ++reliability_stats_.failed;
+    rs.trace.push_back(reliability_event{reliability_event::kind::fail,
+                                         task_id, now, net::invalid_node});
+    ++rs.stats.failed;
     if (obs::enabled()) obs_rel_failed_->add();
-    pending_.erase(it);
+    rs.pending.erase(it);
     if (on_task_failed_) on_task_failed_(task_id);
     return;
   }
@@ -280,7 +326,13 @@ void onfiber_runtime::on_timeout(std::uint32_t task_id,
 
   // Repeated timeouts mean the current compute site (or the path to it)
   // is gone: ask the controller for an alternate site over live links and
-  // pin this task's retries to it.
+  // pin this task's retries to it. Planning runs right here on the owner
+  // shard — its inputs (immutable topology, the link map, the
+  // capable-site tables) are coordinator-owned and only ever written
+  // during control-plane events with every shard parked, so the reads
+  // are race-free; deferring the decision to a separate coordinator
+  // event would shift retransmit times and break the shard-count
+  // invariance of the recovery trace.
   if (task.attempts >= reliability_cfg_.failover_after) {
     const net::topology& topo = fabric_.topo();
     const auto dst_node = topo.node_for_address(task.request.dst);
@@ -300,37 +352,79 @@ void onfiber_runtime::on_timeout(std::uint32_t task_id,
                                    *dst_node, &fabric_.links_up());
       if (plan && plan->site != task.pinned_site) {
         task.pinned_site = plan->site;
-        ++reliability_stats_.failovers;
+        ++rs.stats.failovers;
         if (obs::enabled()) obs_rel_failovers_->add();
-        trace_.push_back(
+        rs.trace.push_back(
             reliability_event{reliability_event::kind::failover, task_id,
-                              sim_.now(), plan->site});
+                              now, plan->site});
       }
     }
   }
 
-  ++reliability_stats_.retransmits;
+  ++rs.stats.retransmits;
   if (obs::enabled()) obs_rel_retransmits_->add();
-  trace_.push_back(reliability_event{reliability_event::kind::retransmit,
-                                     task_id, sim_.now(),
-                                     task.pinned_site});
+  rs.trace.push_back(reliability_event{reliability_event::kind::retransmit,
+                                       task_id, now, task.pinned_site});
   send_tracked(task, task_id);
 }
 
 void onfiber_runtime::complete_task(std::uint32_t task_id, double now) {
-  const auto it = pending_.find(task_id);
-  if (it == pending_.end()) return;  // duplicate ack
+  rel_shard* owner = owner_shard_of(task_id);
+  if (owner == nullptr) return;
+  rel_shard& rs = *owner;
+  const auto it = rs.pending.find(task_id);
+  if (it == rs.pending.end()) return;  // duplicate ack
   const double latency = now - it->second.submitted_s;
-  remember_completed(task_id);
-  ++reliability_stats_.completed;
+  ++rs.stats.completed;
   if (obs::enabled()) obs_rel_completed_->add();
-  reliability_stats_.total_completion_s += latency;
-  if (latency > reliability_stats_.max_completion_s) {
-    reliability_stats_.max_completion_s = latency;
+  rs.stats.total_completion_s += latency;
+  if (latency > rs.stats.max_completion_s) {
+    rs.stats.max_completion_s = latency;
   }
-  trace_.push_back(reliability_event{reliability_event::kind::ack, task_id,
-                                     now, net::invalid_node});
-  pending_.erase(it);
+  rs.trace.push_back(reliability_event{reliability_event::kind::ack, task_id,
+                                       now, net::invalid_node});
+  rs.pending.erase(it);
+}
+
+const onfiber_runtime::reliability_stats& onfiber_runtime::reliability()
+    const {
+  reliability_cache_ = reliability_stats{};
+  for (const auto& rs : rel_shards_) {
+    const reliability_stats& s = rs->stats;
+    reliability_cache_.submitted += s.submitted;
+    reliability_cache_.completed += s.completed;
+    reliability_cache_.failed += s.failed;
+    reliability_cache_.retransmits += s.retransmits;
+    reliability_cache_.failovers += s.failovers;
+    reliability_cache_.acks_sent += s.acks_sent;
+    reliability_cache_.duplicate_deliveries += s.duplicate_deliveries;
+    reliability_cache_.total_completion_s += s.total_completion_s;
+    if (s.max_completion_s > reliability_cache_.max_completion_s) {
+      reliability_cache_.max_completion_s = s.max_completion_s;
+    }
+  }
+  return reliability_cache_;
+}
+
+const std::vector<onfiber_runtime::reliability_event>&
+onfiber_runtime::recovery_trace() const {
+  // Classic / 1-shard: the raw event-order trace, exactly as before.
+  if (rel_shards_.size() == 1) return rel_shards_[0]->trace;
+  trace_merged_.clear();
+  for (const auto& rs : rel_shards_) {
+    trace_merged_.insert(trace_merged_.end(), rs->trace.begin(),
+                         rs->trace.end());
+  }
+  // Every event of one task is recorded on its owner shard, so a stable
+  // sort on (time, task) keeps per-task order (failover before its
+  // retransmit at the same timestamp) while interleaving tasks
+  // deterministically.
+  std::stable_sort(trace_merged_.begin(), trace_merged_.end(),
+                   [](const reliability_event& a, const reliability_event& b) {
+                     if (a.time_s != b.time_s) return a.time_s < b.time_s;
+                     return a.task_id < b.task_id;
+                   });
+  return trace_merged_;
 }
 
 photonic_engine& onfiber_runtime::deploy_engine(net::node_id at,
@@ -578,22 +672,21 @@ net::hook_decision onfiber_runtime::on_packet(net::node_id at,
     return keep_going;
   }
 
-  // Failover pinning: a task the controller re-homed after repeated
-  // timeouts follows the reconverged plain routes toward its pinned site,
-  // overriding the (possibly stale) compute tables.
-  if (reliability_enabled_ && !pending_.empty()) {
-    const auto it = pending_.find(header->task_id);
-    if (it != pending_.end() &&
-        it->second.pinned_site != net::invalid_node &&
-        it->second.pinned_site != at) {
-      const auto hop = fabric_.next_hop(
-          at, fabric_.topo().node_at(it->second.pinned_site).address);
-      if (hop && *hop != at) {
-        ++stats_of(at).redirected;
-        if (obs::enabled()) obs_redirected_->add();
-        return net::hook_decision{net::hook_decision::action_type::redirect,
-                                  *hop};
-      }
+  // Failover pinning: a retransmit copy the controller re-homed after
+  // repeated timeouts carries its target site in the packet
+  // (packet::pinned_site, stamped by send_tracked) and follows the
+  // reconverged plain routes toward it, overriding the (possibly stale)
+  // compute tables. Packet state only — no task-table lookup, so the
+  // check is safe on any shard's thread.
+  if (pkt.pinned_site != net::invalid_node && pkt.pinned_site != at &&
+      pkt.pinned_site < fabric_.topo().node_count()) {
+    const auto hop = fabric_.next_hop(
+        at, fabric_.topo().node_at(pkt.pinned_site).address);
+    if (hop && *hop != at) {
+      ++stats_of(at).redirected;
+      if (obs::enabled()) obs_redirected_->add();
+      return net::hook_decision{net::hook_decision::action_type::redirect,
+                                *hop};
     }
   }
 

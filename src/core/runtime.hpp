@@ -28,18 +28,22 @@
 
 namespace onfiber::core {
 
-class onfiber_runtime {
+class onfiber_runtime final : public net::packet_event_sink {
  public:
   onfiber_runtime(net::simulator& sim, net::topology topo);
 
   /// Sharded runtime: the fabric partitions the topology across the
   /// engine's shards and hooks run on the owning shard's thread. Site
   /// state stays per-node (a node lives on exactly one shard), while
-  /// the runtime's counters and delivery log become per-shard and are
-  /// merged deterministically on read. The reliability layer's task
-  /// table is inherently cross-shard and is unsupported at more than
-  /// one shard (enable_reliability throws). A 1-shard engine behaves
-  /// bit-identically to the classic constructor.
+  /// the runtime's counters, delivery log, and reliability layer become
+  /// per-shard and are merged deterministically on read. Reliable tasks
+  /// are owned by the shard of their ingress node: the task table, RTO
+  /// timers, and failover planning all live there, while acks ride the
+  /// fabric (and its cross-shard parcel channels) like any other
+  /// packet. Control-plane entry points — submit_reliable,
+  /// enable_reliability, set_bit_error_rate — must be called from setup
+  /// or a schedule_global event in sharded mode. A 1-shard engine
+  /// behaves bit-identically to the classic constructor.
   onfiber_runtime(net::shard_engine& engine, net::topology topo);
 
   onfiber_runtime(const onfiber_runtime&) = delete;
@@ -142,6 +146,20 @@ class onfiber_runtime {
   // After `failover_after` consecutive timeouts the runtime asks the
   // controller (ctrl::plan_failover_site) for an alternate compute site
   // over live links and pins the task's retries to it.
+  //
+  // Sharded fabrics: every task is owned by the shard of its ingress
+  // node — its table entry, RTO timers, and failover planning run on
+  // that shard's event loop, and retransmits re-enter the fabric at the
+  // ingress exactly as in classic mode. The destination side is
+  // stateless: requests carry proto::flag_tracked, so acking and
+  // duplicate accounting are decided from the wire alone on whichever
+  // shard delivers. Acks are ordinary fabric packets (they queue, cross
+  // shards as parcels, and can be lost); an ack landing off the owner
+  // shard hands completion over via an engine parcel one lookahead
+  // later. Failover planning reads only coordinator-owned state (link
+  // map, capable-site tables) that is never written while shard threads
+  // run, so planning on the owner shard is race-free and keeps recovery
+  // traces bit-identical at any shard count.
 
   struct reliability_config {
     double initial_rto_s = 0.05;  ///< first retransmit timeout
@@ -204,20 +222,33 @@ class onfiber_runtime {
   /// Submit a compute packet with end-to-end tracking. The packet must
   /// carry a valid compute header; its task_id keys the task table and
   /// must not collide with a task still in flight. Returns the task_id.
+  /// Control-plane in sharded mode: call from setup or schedule_global.
   std::uint32_t submit_reliable(net::packet pkt, net::node_id ingress);
 
-  /// Tasks still awaiting an ack.
+  /// Tasks still awaiting an ack (summed across shards).
   [[nodiscard]] std::size_t tasks_in_flight() const {
-    return pending_.size();
+    std::size_t n = 0;
+    for (const auto& rs : rel_shards_) n += rs->pending.size();
+    return n;
   }
 
-  [[nodiscard]] const reliability_stats& reliability() const {
-    return reliability_stats_;
-  }
-  [[nodiscard]] const std::vector<reliability_event>& recovery_trace()
-      const {
-    return trace_;
-  }
+  /// Counters summed across shards (integer sums are order-independent;
+  /// total_completion_s is summed per shard then across shards in fixed
+  /// shard order — deterministic per shard count, though the double sum
+  /// is not comparable bit-for-bit between different shard counts).
+  [[nodiscard]] const reliability_stats& reliability() const;
+  /// Classic (and 1-shard) runtimes return the trace in raw event order,
+  /// exactly as before. Multi-shard runtimes merge the per-shard traces
+  /// by (time_s, task_id) with a stable sort: all events of one task are
+  /// recorded on its owner shard, so per-task order survives the merge.
+  [[nodiscard]] const std::vector<reliability_event>& recovery_trace() const;
+
+  /// Cross-shard task-completion handoff (packet_event_sink): an ack
+  /// that landed off its task's owner shard arrives here, on the owner
+  /// shard, as an engine parcel. Not for direct use.
+  static constexpr std::uint8_t op_complete_task = 0;
+  void on_packet_event(std::uint8_t op, net::packet&& pkt,
+                       std::uint32_t node) override;
 
  private:
   struct site {
@@ -232,14 +263,31 @@ class onfiber_runtime {
   struct pending_task {
     net::packet request;          ///< stored copy for retransmission
     net::node_id ingress = net::invalid_node;
-    net::ipv4 reply_to{};         ///< where acks are addressed (pkt.src)
     proto::primitive_id primitive = proto::primitive_id::none;
     double rto_s = 0.0;           ///< current retransmit timeout
     int attempts = 0;             ///< consecutive timeouts so far
     std::uint64_t generation = 0; ///< invalidates stale timers
     double submitted_s = 0.0;     ///< first submission time
     net::node_id pinned_site = net::invalid_node;  ///< failover target
-    bool delivered = false;       ///< destination saw it (ack may be lost)
+  };
+
+  /// Reliability state owned by one shard's event loop. The pending
+  /// table, trace, and owner-side stats belong to the shards that
+  /// submitted the tasks; the delivered-history ring (duplicate
+  /// accounting) and acks_sent/duplicate counters are written by the
+  /// shards where tracked results deliver. Classic fabrics have exactly
+  /// one. Cache-line aligned like wan_fabric::shard_state.
+  struct alignas(64) rel_shard {
+    std::unordered_map<std::uint32_t, pending_task> pending;
+    std::vector<reliability_event> trace;
+    reliability_stats stats;
+    /// Task ids whose result already delivered at a node of this shard
+    /// (ring + membership set, capped at kCompletedHistory): duplicate
+    /// deliveries from retransmits are counted from here, including
+    /// ones landing after the ack erased the pending entry.
+    std::vector<std::uint32_t> delivered_ring;
+    std::size_t delivered_next = 0;
+    std::unordered_set<std::uint32_t> delivered_set;
   };
 
   /// Shared constructor body (fabric_ and sim_ already bound).
@@ -265,13 +313,19 @@ class onfiber_runtime {
   void on_timeout(std::uint32_t task_id, std::uint64_t generation);
   void complete_task(std::uint32_t task_id, double now);
 
-  /// Bounded memory of completed task ids, so duplicate deliveries from
-  /// retransmits that land *after* the ack erased the pending entry are
-  /// still counted (they used to vanish from duplicate_deliveries).
-  void remember_completed(std::uint32_t task_id);
-  [[nodiscard]] bool recently_completed(std::uint32_t task_id) const {
-    return completed_history_set_.contains(task_id);
+  /// The reliability bucket owning task `task_id`'s table entry, or
+  /// nullptr for an id the directory has never seen.
+  [[nodiscard]] rel_shard* owner_shard_of(std::uint32_t task_id);
+
+  /// Destination-side duplicate accounting on `rs` (the delivering
+  /// shard's bucket).
+  void remember_delivered(rel_shard& rs, std::uint32_t task_id);
+  [[nodiscard]] static bool recently_delivered(const rel_shard& rs,
+                                               std::uint32_t task_id) {
+    return rs.delivered_set.contains(task_id);
   }
+  /// Task-id reuse: erase the id from every shard's delivered history
+  /// (control-plane — submit_reliable runs with shard threads parked).
   void forget_completed(std::uint32_t task_id);
 
   /// Record one site utilization/queue-depth sample (tracing only).
@@ -317,17 +371,19 @@ class onfiber_runtime {
   // -------------------------------------------------- reliability state
   bool reliability_enabled_ = false;
   reliability_config reliability_cfg_{};
-  reliability_stats reliability_stats_{};
-  std::unordered_map<std::uint32_t, pending_task> pending_;
-  std::vector<reliability_event> trace_;
+  /// One bucket per shard (single-writer each, see rel_shard).
+  std::vector<std::unique_ptr<rel_shard>> rel_shards_;
+  /// task_id -> ingress node (whose shard owns the task). Written only
+  /// by submit_reliable (control-plane: shard threads parked), read
+  /// from shard threads; entries are overwritten on id reuse, never
+  /// erased mid-run.
+  std::unordered_map<std::uint32_t, net::node_id> task_ingress_;
+  mutable reliability_stats reliability_cache_;
+  mutable std::vector<reliability_event> trace_merged_;
   task_failure_fn on_task_failed_;
 
-  /// Recently completed task ids (ring + membership set, capped at
-  /// kCompletedHistory): the duplicate-delivery accounting above.
+  /// Capacity of each shard's delivered-history ring.
   static constexpr std::size_t kCompletedHistory = 1024;
-  std::vector<std::uint32_t> completed_history_ring_;
-  std::size_t completed_history_next_ = 0;
-  std::unordered_set<std::uint32_t> completed_history_set_;
 
   // Observability handles (resolved once in the constructor; incremented
   // only while obs::enabled()). Mirror runtime_stats /

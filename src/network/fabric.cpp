@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdio>
 #include <limits>
 #include <stdexcept>
 
@@ -22,6 +23,8 @@ wan_fabric::wan_fabric(simulator* sim, shard_engine* engine, topology topo)
       tables_(topo_.node_count()),
       hooks_(topo_.node_count()),
       link_free_at_(topo_.links().size(), std::array<double, 2>{0.0, 0.0}),
+      link_tx_seq_(topo_.links().size(),
+                   std::array<std::uint64_t, 2>{0, 0}),
       link_bytes_dir_(topo_.links().size(), std::array<double, 2>{0.0, 0.0}),
       link_up_(topo_.links().size(), true) {
   const std::size_t n = topo_.node_count();
@@ -42,6 +45,39 @@ wan_fabric::wan_fabric(simulator* sim, shard_engine* engine, topology topo)
       if (slot == no_link) slot = static_cast<std::uint32_t>(li);
     }
   }
+
+  // Hop diameter (unweighted BFS from every node; the topology is
+  // immutable, so compute once). Feeds recommended_ttl(): delay-metric
+  // routes and failover detours can run longer than the min-hop path,
+  // so the recommendation is two diameters plus margin.
+  std::uint32_t diameter = 0;
+  {
+    constexpr std::uint32_t unvisited = ~std::uint32_t{0};
+    std::vector<std::uint32_t> dist(n);
+    std::vector<node_id> queue(n);
+    for (node_id s = 0; s < n; ++s) {
+      std::fill(dist.begin(), dist.end(), unvisited);
+      std::size_t head = 0;
+      std::size_t tail = 0;
+      dist[s] = 0;
+      queue[tail++] = s;
+      while (head < tail) {
+        const node_id u = queue[head++];
+        for (const std::size_t li : topo_.incident_links(u)) {
+          const node_id v = topo_.neighbor(u, li);
+          if (dist[v] == unvisited) {
+            dist[v] = dist[u] + 1;
+            queue[tail++] = v;
+          }
+        }
+      }
+      for (node_id v = 0; v < n; ++v) {
+        if (dist[v] != unvisited && dist[v] > diameter) diameter = dist[v];
+      }
+    }
+  }
+  recommended_ttl_ = static_cast<std::uint8_t>(
+      std::clamp<std::uint32_t>(2 * diameter + 8, 64, 255));
 
   // Shard the node set. A classic fabric (and a 1-shard engine) is one
   // shard holding everything — node_shard_ all zero keeps every
@@ -212,6 +248,16 @@ void wan_fabric::set_hook(node_id at, hook_fn hook) {
 }
 
 void wan_fabric::send(packet pkt, node_id ingress) {
+  // A packet still carrying the struct default TTL gets the topology's
+  // recommendation: a default-constructed packet should never be
+  // black-holed by a long-diameter network (chain128 needs 127 hops
+  // against the historical default of 64). Deliberately small TTLs are
+  // left alone — only the exact default is treated as "unset".
+  if (pkt.ttl == 64 && recommended_ttl_ > 64) pkt.ttl = recommended_ttl_;
+  inject(std::move(pkt), ingress);
+}
+
+void wan_fabric::inject(packet pkt, node_id ingress) {
   if (ingress >= topo_.node_count()) {
     throw std::out_of_range("wan_fabric: bad ingress node");
   }
@@ -231,7 +277,9 @@ void wan_fabric::on_packet_event(std::uint8_t op, packet&& pkt,
   if (op == op_arrive) {
     arrive(std::move(pkt), node);
   } else {
-    send(std::move(pkt), node);
+    // op_inject re-entry (runtime compute re-injection): no TTL stamp —
+    // the packet is mid-journey and keeps whatever TTL it has left.
+    inject(std::move(pkt), node);
   }
 }
 
@@ -239,31 +287,43 @@ void wan_fabric::set_bit_error_rate(double ber, std::uint64_t seed) {
   if (ber < 0.0 || ber >= 1.0) {
     throw std::invalid_argument("wan_fabric: BER must be in [0, 1)");
   }
+  // Control-plane event (sharded callers go through schedule_global /
+  // setup, so no datapath thread is in flight). Draws are keyed on
+  // (seed, link, direction, transmit seq) — there is no stream cursor
+  // to restart, so reseeding mid-run is order-independent: traversals
+  // before this call keep the corruption pattern of the old seed,
+  // traversals after it deterministically use the new one, at any
+  // shard count.
   bit_error_rate_ = ber;
-  // Shard 0 carries the caller's exact seed, so a classic (or 1-shard)
-  // fabric reproduces the historical stream bit for bit. Other shards
-  // split off their own streams: a shard-count-independent BER sequence
-  // is impossible with a single sequential generator, so multi-shard
-  // golden traces run with BER off (see tests/test_sharding.cpp).
-  for (std::size_t i = 0; i < shard_states_.size(); ++i) {
-    shard_states_[i]->error_gen =
-        phot::rng{seed + 0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(i)};
-  }
+  ber_seed_ = seed;
 }
 
-void wan_fabric::apply_bit_errors(shard_state& ss, packet& pkt) {
+void wan_fabric::apply_bit_errors(shard_state& ss, packet& pkt,
+                                  std::size_t li, int dir) {
+  // The transmit sequence advances on every traversal, BER on or off:
+  // the stream a traversal draws from depends only on the traffic that
+  // crossed this link direction before it, never on when BER was
+  // (re)configured.
+  const std::uint64_t seq = link_tx_seq_[li][static_cast<std::size_t>(dir)]++;
   if (bit_error_rate_ <= 0.0 || pkt.payload.empty()) return;
   const std::uint64_t bit_count =
       static_cast<std::uint64_t>(pkt.payload.size()) * 8;
   const double bits = static_cast<double>(bit_count);
-  std::uint64_t flips = ss.error_gen.poisson(bit_error_rate_ * bits);
+  // One counter-based stream per traversal. Per-link-direction transmit
+  // order is single-writer (the shard owning the sending endpoint) and
+  // identical at any shard count — the same invariant the golden
+  // delivery traces rest on — so corruption is too.
+  phot::counter_rng gen{phot::counter_rng::key_of(
+      ber_seed_, static_cast<std::uint64_t>(li),
+      static_cast<std::uint64_t>(dir), seq)};
+  std::uint64_t flips = gen.poisson(bit_error_rate_ * bits);
   if (flips == 0) return;
   // A high-BER draw can exceed the payload's bit count; flipping more
   // than every bit once is meaningless, so clamp.
   if (flips > bit_count) flips = bit_count;
   ss.flip_scratch.clear();
   for (std::uint64_t i = 0; i < flips; ++i) {
-    const std::uint64_t bit = ss.error_gen.below(bit_count);
+    const std::uint64_t bit = gen.below(bit_count);
     pkt.payload[bit / 8] ^= static_cast<std::uint8_t>(1U << (bit % 8));
     ss.flip_scratch.push_back(bit);
   }
@@ -288,6 +348,19 @@ void wan_fabric::apply_bit_errors(shard_state& ss, packet& pkt) {
     ++ss.corrupted;
     if (obs::enabled()) obs_corrupted_->add();
   }
+}
+
+void wan_fabric::warn_ttl_blackhole(shard_state& ss) {
+  if (ss.ttl_warned || ss.drops.ttl_expired <= ss.delivered) return;
+  ss.ttl_warned = true;
+  std::fprintf(stderr,
+               "onfiber: ttl-expired drops (%llu) exceed deliveries (%llu) — "
+               "packets are injected with a TTL too small for this topology; "
+               "leave packet::ttl at its default (send() stamps "
+               "recommended_ttl() = %u) or raise it explicitly\n",
+               static_cast<unsigned long long>(ss.drops.ttl_expired),
+               static_cast<unsigned long long>(ss.delivered),
+               static_cast<unsigned>(recommended_ttl_));
 }
 
 std::size_t wan_fabric::egress_link(node_id from, node_id next) const {
@@ -345,7 +418,7 @@ void wan_fabric::forward_on(packet pkt, node_id from, node_id next,
       static_cast<double>(pkt.wire_bytes());
 
   const double arrival = done + l.delay_s();
-  apply_bit_errors(ss, pkt);
+  apply_bit_errors(ss, pkt, li, dir);
   if (obs::enabled()) {
     obs_hops_->add();
     trace_hop(pkt, from, now, obs::hop_action::forward,
@@ -396,6 +469,7 @@ void wan_fabric::arrive(packet pkt, node_id at) {
         }
         if (pkt.ttl == 0) {
           ++ss.drops.ttl_expired;
+          warn_ttl_blackhole(ss);
           if (obs::enabled()) {
             obs_drops_[0]->add();
             trace_hop(pkt, at, now, obs::hop_action::drop,
@@ -438,6 +512,7 @@ void wan_fabric::arrive(packet pkt, node_id at) {
     if (flat.next != invalid_node) {
       if (pkt.ttl == 0) {
         ++ss.drops.ttl_expired;
+        warn_ttl_blackhole(ss);
         if (obs::enabled()) {
           obs_drops_[0]->add();
           trace_hop(pkt, at, now, obs::hop_action::drop,
@@ -464,6 +539,7 @@ void wan_fabric::arrive(packet pkt, node_id at) {
   }
   if (pkt.ttl == 0) {
     ++ss.drops.ttl_expired;
+    warn_ttl_blackhole(ss);
     if (obs::enabled()) {
       obs_drops_[0]->add();
       trace_hop(pkt, at, now, obs::hop_action::drop,

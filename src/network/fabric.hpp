@@ -138,12 +138,29 @@ class wan_fabric final : public packet_event_sink {
 
   void set_deliver_callback(deliver_fn cb) { on_deliver_ = std::move(cb); }
 
-  /// Inject a packet at a node; forwarding begins immediately.
+  /// Inject a packet at a node; forwarding begins immediately. Packets
+  /// still carrying the struct default TTL (64) are stamped with
+  /// recommended_ttl() so a long-diameter topology cannot silently
+  /// black-hole default-constructed traffic; an explicitly set TTL is
+  /// honored as-is.
   void send(packet pkt, node_id ingress);
+
+  /// TTL that survives this topology: twice the hop diameter (detours —
+  /// failover pins, hook redirects, delay-metric routes longer than the
+  /// min-hop path — can exceed one diameter) plus margin, clamped to
+  /// [64, 255].
+  [[nodiscard]] std::uint8_t recommended_ttl() const {
+    return recommended_ttl_;
+  }
 
   /// Failure injection: flip payload bits with this per-bit probability
   /// on every link traversal (uncorrected post-FEC error floor). 0
-  /// disables. Deterministic per seed.
+  /// disables. Deterministic per seed: draws come from counter-based
+  /// streams keyed on (seed, link, direction, per-direction transmit
+  /// sequence), so the corruption pattern is a pure function of each
+  /// packet's traversal history — bit-identical at any shard count, on
+  /// reruns, and regardless of when this is called (reseeding mid-run
+  /// is an ordinary control-plane event; see the .cpp note).
   void set_bit_error_rate(double ber, std::uint64_t seed);
 
   /// Packets that suffered at least one bit flip so far.
@@ -246,6 +263,11 @@ class wan_fabric final : public packet_event_sink {
     std::uint32_t link = no_link;
   };
 
+  /// send() minus the default-TTL stamp: the op_inject re-entry path
+  /// (runtime compute re-injection) must not refresh a packet's
+  /// remaining TTL mid-journey.
+  void inject(packet pkt, node_id ingress);
+
   void arrive(packet pkt, node_id at);
   void forward_to(packet pkt, node_id from, node_id next);
   void forward_on(packet pkt, node_id from, node_id next, std::size_t li);
@@ -297,8 +319,8 @@ class wan_fabric final : public packet_event_sink {
     std::uint64_t corrupted = 0;
     drop_stats drops;
     payload_pool pool;
-    phot::rng error_gen{0};
     std::vector<std::uint64_t> flip_scratch;  ///< bit positions of one draw
+    bool ttl_warned = false;  ///< one-shot TTL-blackhole warning latch
   };
   [[nodiscard]] shard_state& state_of(node_id at) {
     return *shard_states_[node_shard_[at]];
@@ -308,13 +330,25 @@ class wan_fabric final : public packet_event_sink {
   std::vector<std::uint32_t> node_shard_;  ///< node -> owning shard
 
   /// Maybe corrupt a packet in flight (failure injection). `ss` is the
-  /// forwarding shard's state — its BER stream, scratch and counter.
-  void apply_bit_errors(shard_state& ss, packet& pkt);
+  /// forwarding shard's state (scratch + counter); `li`/`dir` identify
+  /// the link direction being traversed, which keys the error stream.
+  void apply_bit_errors(shard_state& ss, packet& pkt, std::size_t li,
+                        int dir);
+
+  /// Latch-once stderr warning when a shard's ttl-expired drops exceed
+  /// its deliveries — the signature of a default TTL too small for the
+  /// topology (use recommended_ttl()).
+  void warn_ttl_blackhole(shard_state& ss);
 
   // Per-link, per-direction transmit availability time (FIFO model).
   // Direction 0: a->b, 1: b->a. Each direction of a cross-shard link is
   // written only by the shard owning its sending endpoint.
   std::vector<std::array<double, 2>> link_free_at_;
+  /// Per-link, per-direction transmit sequence numbers — the counter
+  /// half of the BER stream key. Single-writer like link_free_at_, and
+  /// advanced on every traversal (BER on or off) so the stream a given
+  /// traversal draws from never depends on when BER was (re)configured.
+  std::vector<std::array<std::uint64_t, 2>> link_tx_seq_;
   /// Bytes carried, split per direction for the same single-writer
   /// reason; link_bytes() sums a+b in fixed order (wire bytes are
   /// integer-valued doubles, so the split sum is bit-exact regardless).
@@ -323,7 +357,9 @@ class wan_fabric final : public packet_event_sink {
   mutable drop_stats drops_cache_;
 
   double bit_error_rate_ = 0.0;
+  std::uint64_t ber_seed_ = 0;
   std::vector<bool> link_up_;
+  std::uint8_t recommended_ttl_ = 64;
 
   std::uint64_t reconvergences_ = 0;
 

@@ -46,6 +46,13 @@ struct packet {
   /// own per-hop record chain.
   std::uint32_t trace_id = 0;
 
+  /// Reliability failover pin: retransmit copies of a task the
+  /// controller re-homed carry the alternate compute site here, so
+  /// in-transit redirection is decided from packet state alone instead
+  /// of a task-table lookup (which would cross shards in the parallel
+  /// engine). ~0 = unpinned.
+  std::uint32_t pinned_site = ~std::uint32_t{0};
+
   /// Serialized size on the wire [bytes]: 20-byte IP header + payload.
   [[nodiscard]] std::size_t wire_bytes() const {
     return 20 + payload.size();

@@ -22,6 +22,91 @@ namespace onfiber::phot {
   return z ^ (z >> 31);
 }
 
+/// Counter-based generator (splitmix-style). Every output is a pure
+/// function of (key, draw index): the stream for a given key is the
+/// same no matter when, where, or in what order other streams are
+/// consumed. That is the property sequential generators cannot give a
+/// parallel simulation — construct one stream per logical event
+/// (e.g. per link traversal) and the draws are reproducible at any
+/// shard or thread count.
+///
+/// Distribution helpers mirror `rng`'s semantics but are independent
+/// implementations; they do not match xoshiro draw-for-draw.
+class counter_rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr counter_rng(std::uint64_t key) : state_(key) {}
+
+  /// Collapse up to four key words into one stream key. Each word is
+  /// fully mixed before the next is absorbed, so (seed, id, 0, 1) and
+  /// (seed, id, 1, 0) land in unrelated streams.
+  [[nodiscard]] static constexpr std::uint64_t key_of(std::uint64_t a,
+                                                      std::uint64_t b = 0,
+                                                      std::uint64_t c = 0,
+                                                      std::uint64_t d = 0) {
+    std::uint64_t s = a;
+    std::uint64_t k = splitmix64(s);
+    s = k ^ b;
+    k = splitmix64(s);
+    s = k ^ c;
+    k = splitmix64(s);
+    s = k ^ d;
+    return splitmix64(s);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  constexpr result_type operator()() { return splitmix64(state_); }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  [[nodiscard]] double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0 (Lemire multiply-shift).
+  [[nodiscard]] std::uint64_t below(std::uint64_t n) {
+    __extension__ using u128 = unsigned __int128;
+    const u128 wide = static_cast<u128>((*this)()) * static_cast<u128>(n);
+    return static_cast<std::uint64_t>(wide >> 64);
+  }
+
+  /// Standard normal deviate (polar method, no spare caching — streams
+  /// here are short-lived, purity matters more than amortization).
+  [[nodiscard]] double normal() {
+    double u, v, s;
+    do {
+      u = 2.0 * uniform() - 1.0;
+      v = 2.0 * uniform() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    return u * std::sqrt(-2.0 * std::log(s) / s);
+  }
+
+  /// Poisson deviate: Knuth for small means, Gaussian approximation for
+  /// large ones (same thresholds as `rng::poisson`).
+  [[nodiscard]] std::uint64_t poisson(double mean) {
+    if (mean <= 0.0) return 0;
+    if (mean > 256.0) {
+      const double v =
+          std::round(mean + std::sqrt(mean) * normal());
+      return v < 0.0 ? 0 : static_cast<std::uint64_t>(v);
+    }
+    const double limit = std::exp(-mean);
+    double product = uniform();
+    std::uint64_t count = 0;
+    while (product > limit) {
+      ++count;
+      product *= uniform();
+    }
+    return count;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
 /// xoshiro256++ PRNG (Blackman & Vigna). Fast, high quality, deterministic.
 /// Satisfies std::uniform_random_bit_generator.
 class rng {

@@ -52,6 +52,11 @@ enum header_flags : std::uint8_t {
   flag_ack = 0x10,  ///< end-to-end delivery ack (reliability layer); the
                     ///< header is the whole message, task_id names the
                     ///< acknowledged task
+  flag_tracked = 0x20,  ///< reliability layer tracks this task: the
+                        ///< destination acks every result delivery and
+                        ///< counts duplicates from the wire bit alone —
+                        ///< no task-table lookup, so the decision is
+                        ///< shard-local on the parallel engine
 };
 
 inline constexpr std::uint16_t compute_magic = 0x0F1B;  // "OFIBer"
@@ -78,6 +83,7 @@ struct compute_header {
 
   [[nodiscard]] bool has_result() const { return flags & flag_has_result; }
   [[nodiscard]] bool is_ack() const { return flags & flag_ack; }
+  [[nodiscard]] bool is_tracked() const { return flags & flag_tracked; }
   [[nodiscard]] bool requires_compute() const {
     return flags & flag_require_compute;
   }

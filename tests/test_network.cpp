@@ -522,13 +522,14 @@ TEST(Fabric, DropStatsPerReason) {
 }
 
 TEST(Fabric, HighBerFlipCountClampedToPayloadBits) {
-  // Seed 2's first poisson(0.9 * 8) draw is 12 — more flips than a
-  // 1-byte payload has bits. The clamp caps it at 8; the packet still
-  // traverses and the corruption counter advances exactly once.
+  // Seed 7's stream for (link 0, dir 0, seq 0) opens with a
+  // poisson(0.9 * 8) draw of 12 — more flips than a 1-byte payload has
+  // bits. The clamp caps it at 8; the packet still traverses and the
+  // corruption counter advances exactly once.
   simulator sim;
   wan_fabric fabric(sim, make_linear_topology(2, 10.0));
   fabric.install_shortest_path_routes();
-  fabric.set_bit_error_rate(0.9, 2);
+  fabric.set_bit_error_rate(0.9, 7);
   std::vector<std::uint8_t> delivered_payload;
   fabric.set_deliver_callback([&](const packet& pkt, node_id, double) {
     delivered_payload = pkt.payload;
@@ -540,8 +541,10 @@ TEST(Fabric, HighBerFlipCountClampedToPayloadBits) {
   sim.run();
   EXPECT_EQ(fabric.corrupted(), 1u);
   ASSERT_EQ(delivered_payload.size(), 1u);
-  // Replay the generator: the fabric must apply the clamped flip count.
-  phot::rng replay{2};
+  // Replay the counter stream for this traversal: node 0 -> 1 is the
+  // first transmit on link 0 direction 0. The fabric must apply the
+  // clamped flip count.
+  phot::counter_rng replay{phot::counter_rng::key_of(7, 0, 0, 0)};
   std::uint64_t flips = replay.poisson(0.9 * 8.0);
   ASSERT_GT(flips, 8u);
   flips = 8;
@@ -577,11 +580,13 @@ TEST(Fabric, BitErrorCountsNetCorruptionOnly) {
   }
   sim.run();
 
-  // Replay the generator: packets traverse the single link in send
-  // order, so the draw sequence is reproducible.
-  phot::rng replay{seed};
+  // Replay the counter streams: packets traverse the single link in
+  // send order, so the i-th packet is transmit seq i on (link 0, dir 0)
+  // and draws from the stream keyed by (seed, 0, 0, i).
   std::uint64_t flip_events = 0;
   for (int i = 0; i < packets; ++i) {
+    phot::counter_rng replay{phot::counter_rng::key_of(
+        seed, 0, 0, static_cast<std::uint64_t>(i))};
     std::uint64_t flips = replay.poisson(ber * 8.0);
     if (flips == 0) continue;
     if (flips > 8) flips = 8;
@@ -594,6 +599,111 @@ TEST(Fabric, BitErrorCountsNetCorruptionOnly) {
   // flips yet arrived intact (this is what the old counter overcounted).
   EXPECT_LT(changed, flip_events);
   EXPECT_GT(changed, 0u);
+}
+
+TEST(Fabric, MidRunReseedIsOrderIndependent) {
+  // set_bit_error_rate is an ordinary control-plane event: draws are
+  // keyed by per-link-direction transmit sequence, which advances on
+  // every traversal whether BER is on or off, so the corruption a
+  // packet suffers depends only on the traffic that preceded it on the
+  // link — never on when BER was (re)configured.
+  const auto run = [](bool late) {
+    simulator sim;
+    wan_fabric fabric(sim, make_linear_topology(2, 10.0));
+    fabric.install_shortest_path_routes();
+    if (!late) fabric.set_bit_error_rate(0.25, 11);
+    std::vector<std::vector<std::uint8_t>> payloads;
+    fabric.set_deliver_callback([&](const packet& pkt, node_id, double) {
+      payloads.push_back(pkt.payload);
+    });
+    for (int i = 0; i < 10; ++i) {
+      packet pkt;
+      pkt.dst = fabric.topo().node_at(1).address;
+      pkt.payload.assign(4, 0x00);
+      fabric.send(std::move(pkt), 0);
+      sim.run();  // drain so traversals happen in send order
+      if (late && i == 4) fabric.set_bit_error_rate(0.25, 11);
+    }
+    return payloads;
+  };
+  const auto from_start = run(false);
+  const auto enabled_late = run(true);
+  ASSERT_EQ(from_start.size(), 10u);
+  ASSERT_EQ(enabled_late.size(), 10u);
+  const std::vector<std::uint8_t> clean(4, 0x00);
+  // Packets before the late enable pass through untouched...
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(enabled_late[i], clean);
+  // ...and packets after it corrupt exactly as if BER had been on from
+  // the start: same link, same transmit sequence, same stream.
+  bool any_corrupted = false;
+  for (std::size_t i = 5; i < 10; ++i) {
+    EXPECT_EQ(enabled_late[i], from_start[i]);
+    if (from_start[i] != clean) any_corrupted = true;
+  }
+  EXPECT_TRUE(any_corrupted);  // the shared suffix really exercises BER
+}
+
+TEST(Fabric, RecommendedTtlTracksTopologyDiameter) {
+  // Small topologies clamp to the historical default floor of 64; a
+  // 128-node chain (hop diameter 127) wants 2*127 + 8 = 262, clamped
+  // to the field's ceiling of 255.
+  {
+    simulator sim;
+    wan_fabric fabric(sim, make_linear_topology(4, 10.0));
+    EXPECT_EQ(fabric.recommended_ttl(), 64u);
+  }
+  {
+    simulator sim;
+    wan_fabric fabric(sim, make_linear_topology(128, 1.0));
+    EXPECT_EQ(fabric.recommended_ttl(), 255u);
+  }
+}
+
+TEST(Fabric, DefaultTtlDeliversAcrossLongChain) {
+  // Regression: a default-constructed packet (ttl = 64) crossing a
+  // 128-node chain needs 127 hops. send() must stamp recommended_ttl()
+  // instead of letting the fabric silently black-hole it at hop 64.
+  simulator sim;
+  wan_fabric fabric(sim, make_linear_topology(128, 1.0));
+  fabric.install_shortest_path_routes();
+  node_id delivered_at = invalid_node;
+  fabric.set_deliver_callback(
+      [&](const packet&, node_id at, double) { delivered_at = at; });
+  packet pkt;  // ttl left at the struct default
+  pkt.dst = fabric.topo().node_at(127).address;
+  fabric.send(pkt, 0);
+  sim.run();
+  EXPECT_EQ(delivered_at, 127u);
+  EXPECT_EQ(fabric.delivered(), 1u);
+  EXPECT_EQ(fabric.drops().ttl_expired, 0u);
+}
+
+TEST(Fabric, TtlBlackholeWarnsOnStderrOnce) {
+  // An explicitly small TTL is honored as-is (only the exact default is
+  // restamped). When ttl-expired drops exceed deliveries the fabric
+  // warns once — and only once — on stderr.
+  simulator sim;
+  wan_fabric fabric(sim, make_linear_topology(128, 1.0));
+  fabric.install_shortest_path_routes();
+  const auto send_small_ttl = [&] {
+    packet pkt;
+    pkt.ttl = 5;
+    pkt.dst = fabric.topo().node_at(127).address;
+    fabric.send(pkt, 0);
+  };
+  testing::internal::CaptureStderr();
+  send_small_ttl();
+  sim.run();
+  const std::string first = testing::internal::GetCapturedStderr();
+  EXPECT_NE(first.find("ttl-expired"), std::string::npos);
+  EXPECT_NE(first.find("recommended_ttl"), std::string::npos);
+  EXPECT_EQ(fabric.drops().ttl_expired, 1u);
+
+  testing::internal::CaptureStderr();
+  send_small_ttl();
+  sim.run();
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+  EXPECT_EQ(fabric.drops().ttl_expired, 2u);
 }
 
 TEST(Fabric, DestHintRevalidatedWhenHookRewritesDst) {

@@ -241,18 +241,28 @@ TEST(ObsParity, PacketLifeCoversInjectToDeliver) {
   obs::tracer::global().clear();
   (void)run_flap_ber_scenario(true);
 
-  // Packet 1 is the first healthy A -> D request: injected at A,
-  // computed en route, delivered at D.
-  const auto life = obs::tracer::global().packet_life(1);
+  // Find the first healthy A -> D request: injected at A, computed en
+  // route, delivered at D. (Which trace id that is depends on the flap
+  // and bit-error schedules, so scan instead of pinning one.)
+  std::vector<obs::hop_record> life;
+  for (std::uint64_t id = 1; id <= 48; ++id) {
+    auto candidate = obs::tracer::global().packet_life(id);
+    if (!candidate.empty() &&
+        candidate.back().action == obs::hop_action::deliver) {
+      life = std::move(candidate);
+      break;
+    }
+  }
   ASSERT_GE(life.size(), 3u);
   EXPECT_EQ(life.front().action, obs::hop_action::inject);
   EXPECT_EQ(life.front().node, 0u);
   EXPECT_EQ(life.back().action, obs::hop_action::deliver);
   EXPECT_EQ(life.back().node, 3u);
+  const std::uint64_t id = life.front().trace_id;
   bool computed = false;
   for (const auto& rec : life) {
     if (rec.action == obs::hop_action::compute) computed = true;
-    EXPECT_EQ(rec.trace_id, 1u);
+    EXPECT_EQ(rec.trace_id, id);
   }
   EXPECT_TRUE(computed);
   // Times are monotone along one packet's life.

@@ -10,9 +10,13 @@
 // while the control plane (flaps, reconvergence) runs as global events.
 // Arrival timestamps are compared with exact double equality.
 //
-// Bit errors stay off in the cross-shard-count runs: the BER stream is
-// per-shard (a single global stream cannot be shard-count invariant),
-// which is exercised by the classic-vs-1-shard equivalence test below.
+// Bit errors are exercised both ways: corruption draws come from
+// counter-based streams keyed on (seed, link, direction, transmit
+// sequence), so the flip pattern is a pure function of each packet's
+// traversal history and the golden trace holds with BER on at any
+// shard count. The reliability layer is likewise shard-aware (per-shard
+// task tables on the submitting node's shard, acks as ordinary
+// packets), so recovery traces are compared across shard counts too.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -43,6 +47,7 @@ struct scenario_result {
   std::vector<trace_entry> trace;
   std::uint64_t delivered = 0;
   std::uint64_t computed = 0;
+  std::uint64_t corrupted = 0;
   net::drop_stats drops;
   net::shard_engine_stats engine;  ///< zeros for the classic simulator
 };
@@ -94,6 +99,7 @@ scenario_result collect(core::onfiber_runtime& rt) {
   }
   r.delivered = rt.fabric().delivered();
   r.computed = rt.stats().computed;
+  r.corrupted = rt.fabric().corrupted();
   r.drops = rt.fabric().drops();
   return r;
 }
@@ -150,9 +156,24 @@ void expect_same(const scenario_result& a, const scenario_result& b) {
   }
   EXPECT_EQ(a.delivered, b.delivered);
   EXPECT_EQ(a.computed, b.computed);
+  EXPECT_EQ(a.corrupted, b.corrupted);
   EXPECT_EQ(a.drops.total(), b.drops.total());
   EXPECT_EQ(a.drops.link_down, b.drops.link_down);
   EXPECT_EQ(a.drops.no_route, b.drops.no_route);
+}
+
+/// Shard counts to sweep: {1, 2, 4} plus an optional extra from the
+/// ONFIBER_SHARDS environment variable (the CI sharded gates set it).
+std::vector<std::size_t> shard_count_sweep() {
+  std::vector<std::size_t> counts = {1, 2, 4};
+  if (const char* env = std::getenv("ONFIBER_SHARDS")) {
+    const std::size_t extra = static_cast<std::size_t>(std::atoi(env));
+    if (extra > 1 &&
+        std::find(counts.begin(), counts.end(), extra) == counts.end()) {
+      counts.push_back(extra);
+    }
+  }
+  return counts;
 }
 
 TEST(ShardedDeterminism, OneShardMatchesClassicExactly) {
@@ -168,8 +189,9 @@ TEST(ShardedDeterminism, OneShardMatchesClassicExactly) {
 }
 
 TEST(ShardedDeterminism, OneShardMatchesClassicWithBitErrors) {
-  // The BER stream is seeded per shard (shard 0 = the user seed), so
-  // classic equivalence must hold with bit errors on at 1 shard.
+  // Raw-trace equivalence at 1 shard with bit errors on: the counter
+  // streams depend only on traversal history, which a 1-shard engine
+  // shares event-for-event with the classic simulator.
   const scenario_result classic = run_classic(1e-4);
   const scenario_result one = run_sharded(1, 1e-4);
   EXPECT_TRUE(classic.trace == one.trace);
@@ -182,12 +204,7 @@ TEST(ShardedDeterminism, GoldenTraceBitIdenticalAcrossShardCounts) {
   EXPECT_GE(classic.delivered, 20u);
   EXPECT_GT(classic.drops.total(), 0u);
 
-  std::vector<std::size_t> counts = {1, 2, 4};
-  if (const char* env = std::getenv("ONFIBER_SHARDS")) {
-    const std::size_t extra = static_cast<std::size_t>(std::atoi(env));
-    if (extra > 1) counts.push_back(extra);
-  }
-  for (const std::size_t shards : counts) {
+  for (const std::size_t shards : shard_count_sweep()) {
     SCOPED_TRACE("shards=" + std::to_string(shards));
     const scenario_result r = run_sharded(shards);
     expect_same(classic, r);
@@ -196,6 +213,21 @@ TEST(ShardedDeterminism, GoldenTraceBitIdenticalAcrossShardCounts) {
       EXPECT_GT(r.engine.windows, 0u);
       EXPECT_GT(r.engine.parcels, 0u);
     }
+  }
+}
+
+TEST(ShardedDeterminism, GoldenTraceWithBitErrorsAcrossShardCounts) {
+  // Same chain-flap scenario with BER on: corruption draws come from
+  // counter streams keyed by traversal history, so the delivery trace —
+  // including which packets corrupt — is exact-double identical at any
+  // shard count.
+  const scenario_result classic = run_classic(1e-4);
+  EXPECT_GE(classic.delivered, 10u);  // some corrupted headers get dropped
+  EXPECT_GT(classic.drops.total(), 0u);
+  EXPECT_GT(classic.corrupted, 0u);  // BER must actually bite
+  for (const std::size_t shards : shard_count_sweep()) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    expect_same(classic, run_sharded(shards, 1e-4));
   }
 }
 
@@ -307,16 +339,127 @@ TEST(ShardedPartition, MoreShardsThanNodesClamps) {
 // ---------------------------------------------------------------------
 // Guard rails.
 
-TEST(ShardedGuards, ReliabilityUnsupportedAtMultipleShards) {
-  net::shard_engine engine(2);
-  core::onfiber_runtime rt(engine, net::make_linear_topology(8));
-  EXPECT_THROW(rt.enable_reliability(), std::logic_error);
+TEST(ShardedGuards, ReliabilityAllowedAtAnyShardCount) {
+  // The single-shard restriction is gone: task tables live on the
+  // submitting node's shard and acks travel as ordinary packets, so
+  // enabling reliability is legal at any shard count.
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{4}}) {
+    net::shard_engine engine(shards);
+    core::onfiber_runtime rt(engine, net::make_linear_topology(8));
+    EXPECT_NO_THROW(rt.enable_reliability()) << "shards=" << shards;
+  }
 }
 
-TEST(ShardedGuards, ReliabilityAllowedAtOneShard) {
-  net::shard_engine engine(1);
-  core::onfiber_runtime rt(engine, net::make_linear_topology(8));
-  EXPECT_NO_THROW(rt.enable_reliability());
+// ---------------------------------------------------------------------
+// Reliability across shards: the PR 2 flap scenario (figure-1, two
+// flapping links, retransmit + backoff + failover) must complete every
+// task and produce a bit-identical recovery trace at any shard count.
+
+struct reliable_run {
+  std::vector<core::onfiber_runtime::reliability_event> trace;
+  core::onfiber_runtime::reliability_stats stats;
+};
+
+/// Figure-1 topology (4 nodes: A=0, B=1, C=2, D=3; links 0 A-B, 2 B-D
+/// flap), GEMV sites at B and C, 12 reliable A -> D tasks submitted at
+/// t = 0. Mirrors test_reliability.cpp's run_flap_scenario so the
+/// classic run here is the same scenario PR 2 pinned.
+template <class ScheduleAt>
+void drive_flap_reliable(core::onfiber_runtime& rt,
+                         ScheduleAt&& schedule_at) {
+  core::gemv_task task;
+  task.weights = phot::matrix(1, 4);
+  for (double& w : task.weights.data) w = 0.5;
+  rt.deploy_engine(1, {}, 71).configure_gemv(task);
+  rt.deploy_engine(2, {}, 72).configure_gemv(task);
+  rt.install_compute_routes_via_nearest_site();
+
+  const net::wan_fabric::link_flap flaps[] = {
+      {0, 0.000, 0.050},  // A-B
+      {2, 0.010, 0.060},  // B-D
+  };
+  rt.fabric().schedule_flaps(flaps, 0.004, /*jitter_seed=*/5,
+                             /*reconvergence_jitter_s=*/0.002);
+
+  core::onfiber_runtime::reliability_config cfg;
+  cfg.initial_rto_s = 0.020;
+  cfg.backoff = 2.0;
+  cfg.failover_after = 2;
+  rt.enable_reliability(cfg);
+
+  schedule_at(0.0, [&rt] {
+    const std::vector<double> x(4, 0.5);
+    for (std::uint32_t id = 0; id < 12; ++id) {
+      rt.submit_reliable(
+          core::make_gemv_request(rt.fabric().topo().node_at(0).address,
+                                  rt.fabric().topo().node_at(3).address, x,
+                                  1, id),
+          0);
+    }
+  });
+}
+
+reliable_run run_flap_reliable_classic() {
+  net::simulator sim;
+  core::onfiber_runtime rt(sim, net::make_figure1_topology());
+  drive_flap_reliable(
+      rt, [&sim](double t, auto fn) { sim.schedule_at(t, std::move(fn)); });
+  sim.run(5'000'000);
+  EXPECT_FALSE(sim.overran());
+  return reliable_run{rt.recovery_trace(), rt.reliability()};
+}
+
+reliable_run run_flap_reliable_sharded(std::size_t shards) {
+  net::shard_engine engine(shards);
+  core::onfiber_runtime rt(engine, net::make_figure1_topology());
+  drive_flap_reliable(rt, [&engine](double t, auto fn) {
+    engine.schedule_global(t, std::move(fn));
+  });
+  engine.run(5'000'000);
+  EXPECT_FALSE(engine.overran());
+  return reliable_run{rt.recovery_trace(), rt.reliability()};
+}
+
+void expect_same_recovery(const reliable_run& a, const reliable_run& b) {
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(a.trace[i].what),
+              static_cast<int>(b.trace[i].what))
+        << "event " << i;
+    EXPECT_EQ(a.trace[i].task_id, b.trace[i].task_id) << "event " << i;
+    // Exact doubles: sharding may not perturb a single ULP.
+    EXPECT_EQ(a.trace[i].time_s, b.trace[i].time_s) << "event " << i;
+    EXPECT_EQ(a.trace[i].site, b.trace[i].site) << "event " << i;
+  }
+  EXPECT_EQ(a.stats.submitted, b.stats.submitted);
+  EXPECT_EQ(a.stats.completed, b.stats.completed);
+  EXPECT_EQ(a.stats.failed, b.stats.failed);
+  EXPECT_EQ(a.stats.retransmits, b.stats.retransmits);
+  EXPECT_EQ(a.stats.failovers, b.stats.failovers);
+  EXPECT_EQ(a.stats.acks_sent, b.stats.acks_sent);
+  EXPECT_EQ(a.stats.duplicate_deliveries, b.stats.duplicate_deliveries);
+  EXPECT_EQ(a.stats.max_completion_s, b.stats.max_completion_s);
+}
+
+TEST(ShardedReliability, FlapRecoveryEquivalentAcrossShardCounts) {
+  const reliable_run classic = run_flap_reliable_classic();
+  // The reference really exercises recovery and everything completes.
+  EXPECT_EQ(classic.stats.submitted, 12u);
+  EXPECT_EQ(classic.stats.completed, 12u);
+  EXPECT_EQ(classic.stats.failed, 0u);
+  EXPECT_GT(classic.stats.retransmits, 0u);
+  for (const std::size_t shards : shard_count_sweep()) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    expect_same_recovery(classic, run_flap_reliable_sharded(shards));
+  }
+}
+
+TEST(ShardedReliability, RecoveryTraceBitIdenticalAcrossReruns) {
+  const reliable_run a = run_flap_reliable_sharded(4);
+  const reliable_run b = run_flap_reliable_sharded(4);
+  expect_same_recovery(a, b);
+  EXPECT_EQ(a.stats.completed, 12u);
 }
 
 }  // namespace
