@@ -148,6 +148,7 @@ int main(int argc, char** argv) {
   banner("E27 / WAN datapath", "fabric packet-forwarding throughput");
   const std::string json_arg = json_path_from_args(argc, argv);
   json_report report(json_arg.empty() ? "BENCH_fabric.json" : json_arg);
+  record_simd_levels(report);
 
   const int kPackets = packet_budget(30000);
 

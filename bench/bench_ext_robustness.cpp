@@ -160,6 +160,7 @@ int main(int argc, char** argv) {
   json_report report(json_path_from_args(argc, argv).empty()
                          ? "BENCH_robustness.json"
                          : json_path_from_args(argc, argv));
+  record_simd_levels(report);
 
   const auto data = digital::make_synthetic_dataset(16, 4, 30, 0.08, 7);
   const auto model =

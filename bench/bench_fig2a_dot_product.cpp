@@ -181,6 +181,19 @@ int main(int argc, char** argv) {
         gemm_best_s * 1e9 /
         (static_cast<double>(gemm_reps) * rows * batch * dim);
 
+    // Accuracy/energy context for the speed numbers: the effective
+    // resolution the converters deliver under their modeled noise, and
+    // the analog energy one MAC costs — ns/MAC alone rewards a simulator
+    // for cutting corners; these keys pin what quality the time buys.
+    phot::dot_product_config cfg;
+    const phot::dac enob_dac(cfg.dac, phot::rng{1});
+    const phot::adc enob_adc(cfg.adc, phot::rng{2});
+    phot::energy_ledger ledger;
+    phot::dot_product_unit energy_unit({}, 600, &ledger);
+    (void)energy_unit.dot_unit_range(a, b);
+    const double energy_per_mac_j =
+        ledger.total_joules() / static_cast<double>(dim);
+
     std::printf("  scalar reference  %10.2f ns/MAC (dim %zu)\n", scalar_ns,
                 dim);
     std::printf("  fused kernel      %10.2f ns/MAC  (%.2fx speedup)\n",
@@ -191,6 +204,15 @@ int main(int argc, char** argv) {
     std::printf("  batched GEMM      %10.2f ns/MAC (batch %zu, %zux%zu "
                 "signed)\n",
                 batch_ns, batch, rows, dim);
+    std::printf("  simd dispatch     %10s (detected %s)\n",
+                simd_active_name(),
+                phot::simd::level_name(phot::simd::detected_level()));
+    std::printf("  converter ENOB    %10.2f bits DAC / %.2f bits ADC "
+                "(%d nominal)\n",
+                enob_dac.effective_bits(), enob_adc.effective_bits(),
+                cfg.adc.bits);
+    std::printf("  analog energy     %10s/MAC\n",
+                fmt_energy(energy_per_mac_j).c_str());
 
     const std::string json_path = json_path_from_args(argc, argv);
     if (!json_path.empty()) {
@@ -203,6 +225,12 @@ int main(int argc, char** argv) {
       report.set("fig2a.batch_ns_per_mac", batch_ns);
       report.set("fig2a.threads",
                  static_cast<double>(phot::kernel_thread_count()));
+      report.set("fig2a.dac_enob_bits", enob_dac.effective_bits());
+      report.set("fig2a.adc_enob_bits", enob_adc.effective_bits());
+      report.set("fig2a.energy_per_mac_j", energy_per_mac_j);
+      report.set("kernels.simd_level",
+                 static_cast<double>(phot::simd::active().lvl));
+      record_simd_levels(report);
       if (!report.write()) {
         std::fprintf(stderr, "fig2a: cannot write %s\n", json_path.c_str());
         return 1;

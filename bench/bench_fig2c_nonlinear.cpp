@@ -3,8 +3,10 @@
 // Prints the measured transfer curve (the figure's content), the effect
 // of the operating point ("configuring the operating point of the optical
 // modulators in advance", §2.1), and noise on the activation.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hpp"
 #include "photonics/engine/nonlinear_unit.hpp"
@@ -12,7 +14,7 @@
 using namespace onfiber;
 using namespace onfiber::bench;
 
-int main() {
+int main(int argc, char** argv) {
   banner("E3 / Fig. 2c", "P3 photonic nonlinear function (ReLU-like)");
 
   // ---- transfer curve ----------------------------------------------------
@@ -63,6 +65,44 @@ int main() {
   note("");
   note("shape check: suppresses small inputs, passes large ones — the");
   note("'ReLU-like function entirely in the optical domain' of [9]");
+
+  // ---- simulator wall-clock throughput -----------------------------------
+  // Min over several passes, same protocol as fig2a/fig2b: the sample is
+  // short and scheduler noise only ever adds time.
+  note("");
+  note("simulator activation cost (wall clock, best of 5 passes)");
+  {
+    phot::nonlinear_unit unit({}, 9);
+    volatile double sink = 0.0;
+    sink = sink + unit.activate(0.5, 10.0);  // warm-up
+    const int reps = 20000;
+    double best_s = 1e30;
+    for (int pass = 0; pass < 5; ++pass) {
+      stopwatch sw;
+      for (int t = 0; t < reps; ++t) {
+        sink = sink + unit.activate(0.5, 10.0);
+      }
+      best_s = std::min(best_s, sw.elapsed_s());
+    }
+    const double ns_per_activation = best_s * 1e9 / reps;
+    const double activations_per_s = static_cast<double>(reps) / best_s;
+    std::printf("  activate(): %.1f ns -> %.2f M activations/s (simd %s)\n",
+                ns_per_activation, activations_per_s / 1e6,
+                simd_active_name());
+
+    const std::string json_path = json_path_from_args(argc, argv);
+    if (!json_path.empty()) {
+      json_report report(json_path);
+      report.set("fig2c.ns_per_activation", ns_per_activation);
+      report.set("fig2c.activations_per_s", activations_per_s);
+      record_simd_levels(report);
+      if (!report.write()) {
+        std::fprintf(stderr, "fig2c: cannot write %s\n", json_path.c_str());
+        return 1;
+      }
+    }
+  }
+
   std::printf("\n");
   return 0;
 }

@@ -123,6 +123,7 @@ int main(int argc, char** argv) {
     if (!json_path.empty()) {
       json_report report(json_path);
       report.set("fig4.packets_per_s", per_s);
+      record_simd_levels(report);
       if (!report.write()) {
         std::fprintf(stderr, "fig4: cannot write %s\n", json_path.c_str());
         return 1;

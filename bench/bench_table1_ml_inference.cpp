@@ -135,6 +135,7 @@ int main(int argc, char** argv) {
       report.set("table1.inferences_per_s", per_s);
       report.set("table1.batch_inferences_per_s", batch_per_s);
       report.set("table1.model_macs", static_cast<double>(macs));
+      record_simd_levels(report);
       if (!report.write()) {
         std::fprintf(stderr, "table1: cannot write %s\n", json_path.c_str());
         return 1;

@@ -19,6 +19,8 @@
 #include <sched.h>
 #endif
 
+#include "photonics/simd.hpp"
+
 namespace onfiber::bench {
 
 /// CPUs actually available to this process (the affinity mask, e.g. a
@@ -38,6 +40,19 @@ inline unsigned cpu_affinity_count() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;
 }
+
+/// Short name of the SIMD tier the sample-plane kernels dispatched to
+/// (differs from the detected tier under an ONFIBER_SIMD override).
+inline const char* simd_active_name() {
+  return phot::simd::active().name;
+}
+
+/// Record the host's detected SIMD tier and the tier actually dispatched
+/// into a JSON report, next to the concurrency keys every bench writes.
+/// Values are the numeric tiers of phot::simd::level (0 = scalar,
+/// 1 = sse4, 2 = avx2, 3 = avx512) because the report format is flat
+/// key -> number.
+inline void record_simd_levels(class json_report& report);
 
 inline void banner(const std::string& experiment_id,
                    const std::string& title) {
@@ -152,6 +167,13 @@ class json_report {
   std::string path_;
   std::map<std::string, double> values_;
 };
+
+inline void record_simd_levels(json_report& report) {
+  report.set("sys.simd_detected_level",
+             static_cast<double>(phot::simd::detected_level()));
+  report.set("sys.simd_active_level",
+             static_cast<double>(phot::simd::active().lvl));
+}
 
 /// Wall-clock stopwatch for solver timing.
 class stopwatch {

@@ -14,10 +14,13 @@ FABRIC_OUT="${3:-BENCH_fabric.json}"
 
 cmake --preset release
 cmake --build --preset release -j"$(nproc)" --target \
-  bench_fig2a_dot_product bench_table1_ml_inference \
+  bench_fig2a_dot_product bench_fig2b_pattern_match bench_fig2c_nonlinear \
+  bench_table1_ml_inference \
   bench_fig4_transponder_path bench_ext_robustness bench_ext_fabric
 
 ./build-release/bench/bench_fig2a_dot_product --json "$JSON_OUT"
+./build-release/bench/bench_fig2b_pattern_match --json "$JSON_OUT"
+./build-release/bench/bench_fig2c_nonlinear --json "$JSON_OUT"
 ./build-release/bench/bench_table1_ml_inference --json "$JSON_OUT"
 ./build-release/bench/bench_fig4_transponder_path --json "$JSON_OUT"
 ./build-release/bench/bench_ext_robustness --json "$ROBUSTNESS_OUT"
@@ -27,6 +30,21 @@ cmake --build --preset release -j"$(nproc)" --target \
 # binary silently skipped the batched measurement (stale build or a
 # regression in the GEMM path), which would otherwise go unnoticed.
 for key in fig2a.batch_ns_per_mac table1.batch_inferences_per_s; do
+  if ! grep -q "\"$key\"" "$JSON_OUT"; then
+    echo "bench_baseline: missing key $key in $JSON_OUT" >&2
+    exit 1
+  fi
+done
+
+# Kernel-performance keys: the headline ns/MAC numbers, the accuracy and
+# energy context that keeps them honest (ENOB, J/MAC), the wall-clock
+# keys of the fig2b/fig2c primitives, and the SIMD tier the sample plane
+# dispatched to. A missing key means a bench silently skipped a section.
+for key in fig2a.fused_ns_per_mac fig2a.scalar_ns_per_mac \
+           fig2a.gemv_rows_per_s fig2a.dac_enob_bits fig2a.adc_enob_bits \
+           fig2a.energy_per_mac_j fig2b.ns_per_word \
+           fig2c.ns_per_activation kernels.simd_level \
+           sys.simd_active_level sys.simd_detected_level; do
   if ! grep -q "\"$key\"" "$JSON_OUT"; then
     echo "bench_baseline: missing key $key in $JSON_OUT" >&2
     exit 1

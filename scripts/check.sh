@@ -29,6 +29,26 @@ ONFIBER_TRACE=1 ctest --preset asan --no-tests=error \
 ONFIBER_SHARDS=4 ctest --preset asan --no-tests=error \
   -R 'Reliability|Sharded'
 
+# SIMD dispatch gate: the sample-plane kernel, determinism, and RNG
+# suites re-run under asan with the dispatch pinned to scalar and then
+# to the host's best tier (the default run above already exercised the
+# env-resolved level). The scalar pass walks the pure-scalar TU; the
+# second pass walks the widest per-ISA TU the machine has, so the
+# vector kernels themselves run under Address/UB sanitizers. Outputs
+# are bit-identical across tiers by contract (test_simd_dispatch pins
+# exact double equality), so both passes must see identical results.
+for simd_level in scalar native; do
+  if [ "$simd_level" = native ]; then
+    unset ONFIBER_SIMD
+  else
+    export ONFIBER_SIMD="$simd_level"
+  fi
+  ctest --preset asan --no-tests=error \
+    -R 'SimdDispatch|Kernels|Determinism|CounterNormal|CounterStream' \
+    -j"$(nproc)"
+done
+unset ONFIBER_SIMD
+
 # Thread-sanitizer pass over the worker-pool surface: the persistent
 # pool, batched GEMM/engine paths, and the two-pass kernels run under
 # -fsanitize=thread to catch data races the deterministic fold could

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "photonics/simd.hpp"
+
 namespace onfiber::phot {
 
 double quantize_to_grid(double value, double full_scale, int bits) {
@@ -18,6 +20,10 @@ double quantization_noise_rms(double full_scale, int bits) {
 
 namespace {
 
+/// Purpose tags separating DAC and ADC streams derived from equal seeds.
+constexpr std::uint64_t kDacTag = 0x646163ULL;  // "dac"
+constexpr std::uint64_t kAdcTag = 0x616463ULL;  // "adc"
+
 /// ENOB penalty translates to extra Gaussian noise so that the converter's
 /// effective resolution is (bits - penalty).
 double enob_noise_sigma(const converter_config& c) {
@@ -31,9 +37,21 @@ double enob_noise_sigma(const converter_config& c) {
   return extra_var > 0.0 ? std::sqrt(extra_var) : 0.0;
 }
 
+/// Measured-style ENOB: total modeled noise (quantization floor + ENOB
+/// penalty) folded back into effective bits.
+double effective_bits_of(const converter_config& c, double noise_sigma) {
+  const double ideal = quantization_noise_rms(c.full_scale, c.bits);
+  const double total = std::sqrt(ideal * ideal + noise_sigma * noise_sigma);
+  if (total <= 0.0 || c.full_scale <= 0.0) {
+    return static_cast<double>(c.bits);
+  }
+  return std::log2(c.full_scale / (total * std::sqrt(12.0)));
+}
+
 /// Branch-free quantize_to_grid: same arithmetic in the same order, with
 /// the clip written as conditional moves (min/max) instead of the branchy
-/// std::clamp — identical results for all non-NaN inputs.
+/// std::clamp — identical results for all non-NaN inputs. Mirrors
+/// quantize_bf in simd_kernels_impl.hpp (the dispatched batch pass).
 inline double quantize_branch_free(double value, double full_scale,
                                    double levels) {
   double c = value;
@@ -49,15 +67,23 @@ inline double quantize_branch_free(double value, double full_scale,
 dac::dac(converter_config config, rng noise_stream, energy_ledger* ledger,
          energy_costs costs)
     : config_(config),
-      gen_(noise_stream),
+      noise_(counter_rng::key_of(noise_stream(), kDacTag)),
       lsb_(config.full_scale / static_cast<double>((1ULL << config.bits) - 1)),
       noise_sigma_(enob_noise_sigma(config)),
       ledger_(ledger),
       costs_(costs) {}
 
+double dac::effective_bits() const {
+  return effective_bits_of(config_, noise_sigma_);
+}
+
 double dac::convert_core(double value) {
   double out = quantize_to_grid(value, config_.full_scale, config_.bits);
-  if (noise_sigma_ > 0.0) out += gen_.normal(0.0, noise_sigma_);
+  if (noise_sigma_ > 0.0) {
+    out += noise_sigma_ * noise_.normal();
+  } else {
+    noise_.skip(1);  // every element consumes one index, noisy or not
+  }
   return std::clamp(out, 0.0, config_.full_scale);
 }
 
@@ -77,21 +103,19 @@ void dac::convert(std::span<const double> in, std::span<double> out,
   const double fs = config_.full_scale;
   const double levels = static_cast<double>((1ULL << config_.bits) - 1);
   const double sigma = noise_sigma_;
+  const simd::kernel_table& k = simd::active();
   if (sigma > 0.0) {
-    // Pass 1 (scalar, sequence-preserving): element i consumes draw i,
-    // exactly as the scalar loop does.
+    // Pass 1: counter-indexed noise fill — element i consumes draw index
+    // cursor + i, exactly as the scalar loop does, generated branch-free
+    // at the active SIMD level.
     noise_scratch.resize(n);
-    gen_.fill_normal(std::span<double>(noise_scratch.data(), n));
-    // Pass 2 (branch-free math): quantize, add noise, clip — all
-    // conditional moves over contiguous arrays.
-    for (std::size_t i = 0; i < n; ++i) {
-      const double q = quantize_branch_free(in[i], fs, levels);
-      double o = q + sigma * noise_scratch[i];
-      o = o < 0.0 ? 0.0 : o;
-      o = o > fs ? fs : o;
-      out[i] = o;
-    }
+    noise_.fill_normal(std::span<double>(noise_scratch.data(), n));
+    // Pass 2: quantize, add noise, clip — conditional moves over
+    // contiguous arrays, dispatched.
+    k.dac_pass(in.data(), noise_scratch.data(), n, fs, levels, sigma,
+               out.data());
   } else {
+    noise_.skip(n);
     for (std::size_t i = 0; i < n; ++i) {
       // No noise: quantize already lands in [0, full_scale].
       out[i] = quantize_branch_free(in[i], fs, levels);
@@ -114,15 +138,23 @@ std::vector<double> dac::convert(std::span<const double> values) {
 adc::adc(converter_config config, rng noise_stream, energy_ledger* ledger,
          energy_costs costs)
     : config_(config),
-      gen_(noise_stream),
+      noise_(counter_rng::key_of(noise_stream(), kAdcTag)),
       lsb_(config.full_scale / static_cast<double>((1ULL << config.bits) - 1)),
       noise_sigma_(enob_noise_sigma(config)),
       ledger_(ledger),
       costs_(costs) {}
 
+double adc::effective_bits() const {
+  return effective_bits_of(config_, noise_sigma_);
+}
+
 double adc::convert_core(double value) {
   double in = value;
-  if (noise_sigma_ > 0.0) in += gen_.normal(0.0, noise_sigma_);
+  if (noise_sigma_ > 0.0) {
+    in += noise_sigma_ * noise_.normal();
+  } else {
+    noise_.skip(1);
+  }
   return quantize_to_grid(in, config_.full_scale, config_.bits);
 }
 
@@ -142,14 +174,14 @@ void adc::convert(std::span<const double> in, std::span<double> out,
   const double fs = config_.full_scale;
   const double levels = static_cast<double>((1ULL << config_.bits) - 1);
   const double sigma = noise_sigma_;
+  const simd::kernel_table& k = simd::active();
   if (sigma > 0.0) {
     noise_scratch.resize(n);
-    gen_.fill_normal(std::span<double>(noise_scratch.data(), n));
-    for (std::size_t i = 0; i < n; ++i) {
-      out[i] = quantize_branch_free(in[i] + sigma * noise_scratch[i], fs,
-                                    levels);
-    }
+    noise_.fill_normal(std::span<double>(noise_scratch.data(), n));
+    k.adc_pass(in.data(), noise_scratch.data(), n, fs, levels, sigma,
+               out.data());
   } else {
+    noise_.skip(n);
     for (std::size_t i = 0; i < n; ++i) {
       out[i] = quantize_branch_free(in[i], fs, levels);
     }

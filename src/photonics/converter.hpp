@@ -26,6 +26,10 @@ struct converter_config {
 /// doubles already normalized by the driver.)
 class dac {
  public:
+  /// `noise_stream` keys the converter's counter-based noise stream (one
+  /// u64 is drawn from it); every converted element consumes exactly one
+  /// draw index, noisy or not, so stream position is a pure function of
+  /// elements converted.
   dac(converter_config config, rng noise_stream,
       energy_ledger* ledger = nullptr, energy_costs costs = {});
 
@@ -35,28 +39,35 @@ class dac {
 
   /// Batch convert into preallocated storage (`in.size()` values written
   /// to `out`). Bit-identical to the scalar loop; one bulk ledger charge.
-  /// Two-pass: a sequence-preserving noise fill into `noise_scratch`
-  /// (exact same draw order as the scalar path), then a branch-free math
-  /// pass over contiguous data. The scalar path's clamp branches
-  /// mispredict on rail inputs — where half the codes are exactly zero
-  /// and the noise sign is random — roughly doubling DAC cost; the math
-  /// pass compiles to min/max instead.
+  /// Two-pass: a counter-indexed noise fill into `noise_scratch` (same
+  /// draw indices as the scalar path, but generated branch-free through
+  /// the dispatched SIMD kernel), then a branch-free math pass over
+  /// contiguous data — both passes vectorize at the active ISA level.
   void convert(std::span<const double> in, std::span<double> out,
                std::vector<double>& noise_scratch);
   void convert(std::span<const double> in, std::span<double> out);
 
   [[nodiscard]] std::vector<double> convert(std::span<const double> values);
 
+  /// Advance the noise stream past `elements` conversions in O(1).
+  void skip_draws(std::uint64_t elements) { noise_.skip(elements); }
+
   [[nodiscard]] const converter_config& config() const { return config_; }
 
   /// Quantization step size.
   [[nodiscard]] double lsb() const { return lsb_; }
 
+  /// Effective resolution implied by the modeled noise: the configured
+  /// quantization floor plus the ENOB-penalty Gaussian, folded back into
+  /// bits — log2(full_scale / (total_rms * sqrt(12))). Reported by the
+  /// benches next to ns/MAC.
+  [[nodiscard]] double effective_bits() const;
+
  private:
   [[nodiscard]] double convert_core(double value);
 
   converter_config config_;
-  rng gen_;
+  counter_stream noise_;
   double lsb_;
   double noise_sigma_;
   energy_ledger* ledger_ = nullptr;
@@ -80,14 +91,20 @@ class adc {
 
   [[nodiscard]] std::vector<double> convert(std::span<const double> values);
 
+  /// Advance the noise stream past `elements` conversions in O(1).
+  void skip_draws(std::uint64_t elements) { noise_.skip(elements); }
+
   [[nodiscard]] const converter_config& config() const { return config_; }
   [[nodiscard]] double lsb() const { return lsb_; }
+
+  /// Effective resolution implied by the modeled noise (see dac).
+  [[nodiscard]] double effective_bits() const;
 
  private:
   [[nodiscard]] double convert_core(double value);
 
   converter_config config_;
-  rng gen_;
+  counter_stream noise_;
   double lsb_;
   double noise_sigma_;
   energy_ledger* ledger_ = nullptr;

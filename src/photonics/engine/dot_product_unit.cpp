@@ -5,6 +5,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "photonics/simd.hpp"
+
 namespace onfiber::phot {
 
 namespace {
@@ -127,13 +129,13 @@ dot_result dot_product_unit::dot_unit_range(std::span<const double> a,
   mod_a_.encode_intensity(scratch_.dac_a, scratch_.trans_a);
   mod_b_.encode_intensity(scratch_.dac_b, scratch_.trans_b);
 
-  // Interleaved product pass: P_i = P_laser,i * T_a,i * T_b,i. This is the
+  // Product pass: P_i = P_laser,i * T_a,i * T_b,i. This is the
   // cascaded-MZM intensity product the field pipeline computes, minus the
-  // phasor bookkeeping a square-law detector cannot see.
-  for (std::size_t i = 0; i < n; ++i) {
-    scratch_.product[i] =
-        scratch_.power[i] * scratch_.trans_a[i] * scratch_.trans_b[i];
-  }
+  // phasor bookkeeping a square-law detector cannot see. Dispatched to
+  // the active SIMD level.
+  simd::active().triple_product(scratch_.power.data(), scratch_.trans_a.data(),
+                                scratch_.trans_b.data(), n,
+                                scratch_.product.data());
   return read_out_power(scratch_.product, full_scale_power_mw(), n);
 }
 
@@ -151,6 +153,19 @@ dot_result dot_product_unit::dot_unit_range_scalar(std::span<const double> a,
     products.push_back(e);
   }
   return read_out(products, full_scale_power_mw(), a.size());
+}
+
+void dot_product_unit::skip_signed_samples(std::uint64_t samples,
+                                           std::uint64_t dim) {
+  // Per dot_signed_rails sample of dimension n: four dot_unit_range
+  // passes, each consuming n DAC-a, n DAC-b, n RIN and n phase indices
+  // plus one detector readout and one ADC conversion.
+  const std::uint64_t per_device = 4 * samples * dim;
+  dac_a_.skip_draws(per_device);
+  dac_b_.skip_draws(per_device);
+  laser_.skip_symbols(per_device);
+  detector_.skip_readouts(4 * samples);
+  adc_out_.skip_draws(4 * samples);
 }
 
 dot_result dot_product_unit::dot_signed(std::span<const double> a,

@@ -118,6 +118,17 @@ class dot_product_unit {
   /// repeated launches reuse one buffer.
   void encode_to_optical(std::span<const double> a, waveform& out);
 
+  /// Advance every device noise stream past `samples` signed-rail dot
+  /// products of dimension `dim`, in O(1), without computing anything:
+  /// each dot_signed_rails call consumes exactly 4*dim draw indices on
+  /// the a/b DACs and the laser's RIN/phase streams, and 4 on the
+  /// detector and output ADC. Only valid for the intensity-domain fused
+  /// path (the laser's phase accumulator is not walked forward). The
+  /// batched GEMM uses this to split one row's sample range into
+  /// independent work cells that still draw the exact indices the serial
+  /// loop would.
+  void skip_signed_samples(std::uint64_t samples, std::uint64_t dim);
+
   /// Calibrated full-scale receive power of this unit's own encode path
   /// [mW]: power seen when encoding 1.0 through both modulators at b=1.
   [[nodiscard]] double full_scale_power_mw() const;

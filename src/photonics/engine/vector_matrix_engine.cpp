@@ -1,5 +1,6 @@
 #include "photonics/engine/vector_matrix_engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "obs/scoped_timer.hpp"
@@ -99,15 +100,33 @@ gemm_result vector_matrix_engine::gemm_signed(const matrix& w,
   }
 
   std::vector<dot_result> cells(rows * batch);
-  std::vector<energy_ledger> row_ledgers(ledger_ != nullptr ? rows : 0);
+
+  // Work decomposition: rows x sample-chunks. The counter-based device
+  // streams make draw index i addressable directly, so a chunk starting
+  // at sample s0 seeks its unit's streams past s0 samples in O(1) and
+  // then draws the exact indices the serial row loop would — splitting a
+  // row across workers changes nothing but wall-clock time. The chunk
+  // size is a fixed constant (NOT derived from the thread count), so the
+  // cell structure — and with it every float fold — is identical at any
+  // ONFIBER_THREADS value.
+  constexpr std::size_t kSamplesPerCell = 8;
+  const std::size_t chunks = (batch + kSamplesPerCell - 1) / kSamplesPerCell;
+  const std::size_t n_cells = rows * chunks;
+  std::vector<energy_ledger> cell_ledgers(ledger_ != nullptr ? n_cells : 0);
 
   parallel_rows(
-      rows, kernel_thread_count(threads_override_), [&](std::size_t r) {
-        dot_product_unit unit(config_, seeds[r],
-                              ledger_ != nullptr ? &row_ledgers[r] : nullptr,
-                              costs_);
-        // Split this row's weight rails once; every sample then streams
-        // through the same rails on the unit's continuing noise streams.
+      n_cells, kernel_thread_count(threads_override_), [&](std::size_t cell) {
+        const std::size_t r = cell / chunks;
+        const std::size_t chunk = cell % chunks;
+        const std::size_t s_begin = chunk * kSamplesPerCell;
+        const std::size_t s_end =
+            std::min(batch, s_begin + kSamplesPerCell);
+        dot_product_unit unit(
+            config_, seeds[r],
+            ledger_ != nullptr ? &cell_ledgers[cell] : nullptr, costs_);
+        unit.skip_signed_samples(s_begin, cols);
+        // Split this row's weight rails once per cell; every sample then
+        // streams through the same rails on the unit's noise streams.
         const auto row = w.row(r);
         std::vector<double> w_pos(cols);
         std::vector<double> w_neg(cols);
@@ -115,7 +134,7 @@ gemm_result vector_matrix_engine::gemm_signed(const matrix& w,
           w_pos[c] = row[c] > 0.0 ? row[c] : 0.0;
           w_neg[c] = row[c] < 0.0 ? -row[c] : 0.0;
         }
-        for (std::size_t s = 0; s < batch; ++s) {
+        for (std::size_t s = s_begin; s < s_end; ++s) {
           const std::span<const double> xp(xs_pos.data() + s * cols, cols);
           const std::span<const double> xn(xs_neg.data() + s * cols, cols);
           cells[r * batch + s] = unit.dot_signed_rails(w_pos, w_neg, xp, xn);
@@ -136,7 +155,8 @@ gemm_result vector_matrix_engine::gemm_signed(const matrix& w,
     }
   }
   if (ledger_ != nullptr) {
-    for (const energy_ledger& l : row_ledgers) ledger_->merge(l);
+    // Merge in (row, chunk) order — fixed, thread-invariant.
+    for (const energy_ledger& l : cell_ledgers) ledger_->merge(l);
   }
   return out;
 }

@@ -75,12 +75,14 @@ class vector_matrix_engine {
   /// Batched GEMM: `xs` holds batch = xs.size() / w.cols signed input
   /// vectors back to back; every sample streams through the same per-row
   /// weight rails (the photonic analogue of holding the MZM weight bank
-  /// steady while symbols fly by — the weight row is split once per row,
-  /// the sample rails once per batch). Per-row seeds are forked in row
-  /// order exactly as in gemv_signed, so a batch of one is bit-identical
-  /// to gemv_signed; within a row, samples run in sample order on the
-  /// row unit's continuing noise streams. Deterministic at any thread
-  /// count.
+  /// steady while symbols fly by). Per-row seeds are forked in row order
+  /// exactly as in gemv_signed, so a batch of one is bit-identical to
+  /// gemv_signed. Work is decomposed into rows x fixed-size sample
+  /// chunks: the counter-based device streams are seekable in O(1), so a
+  /// chunk starting mid-row draws the exact noise indices the serial
+  /// loop would — large batches parallelize beyond the row count while
+  /// every sample stays bit-identical at any thread count, batch size,
+  /// or chunk boundary.
   [[nodiscard]] gemm_result gemm_signed(const matrix& w,
                                         std::span<const double> xs);
 

@@ -4,8 +4,13 @@
 
 namespace onfiber::phot {
 
+namespace {
+constexpr std::uint64_t kAseTag = 0x617365ULL;  // "ase"
+}  // namespace
+
 fiber_span::fiber_span(fiber_config config, rng noise_stream)
-    : config_(config), gen_(noise_stream) {
+    : config_(config),
+      ase_(counter_rng::key_of(noise_stream(), kAseTag)) {
   const double span_loss_db = loss_db();
   if (config_.amplified) {
     // EDFA exactly compensates the span loss; the net field scale is 1
@@ -31,13 +36,20 @@ fiber_span::fiber_span(fiber_config config, rng noise_stream)
 waveform fiber_span::propagate(std::span<const field> in) {
   waveform out;
   out.reserve(in.size());
-  for (const field& e : in) {
-    field sample = e * field_scale_;
-    if (ase_sigma_ > 0.0) {
-      sample += field{gen_.normal(0.0, ase_sigma_),
-                      gen_.normal(0.0, ase_sigma_)};
+  if (ase_sigma_ > 0.0 && !in.empty()) {
+    // Counter-indexed ASE fill: sample i consumes draw indices 2i (I) and
+    // 2i + 1 (Q) of the span's stream — a single vectorizable fill
+    // replaces the per-sample sequential draws.
+    noise_scratch_.resize(2 * in.size());
+    ase_.fill_normal(noise_scratch_);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      field sample = in[i] * field_scale_;
+      sample += field{ase_sigma_ * noise_scratch_[2 * i],
+                      ase_sigma_ * noise_scratch_[2 * i + 1]};
+      out.push_back(sample);
     }
-    out.push_back(sample);
+  } else {
+    for (const field& e : in) out.push_back(e * field_scale_);
   }
   return out;
 }

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "photonics/optical.hpp"
 #include "photonics/rng.hpp"
@@ -41,9 +42,10 @@ class fiber_span {
 
  private:
   fiber_config config_;
-  rng gen_;
+  counter_stream ase_;  ///< two draw indices per amplified sample (I, Q)
   double field_scale_;
   double ase_sigma_;  ///< per-quadrature ASE field noise after EDFA
+  std::vector<double> noise_scratch_;  ///< batched ASE draws, reused
 };
 
 }  // namespace onfiber::phot

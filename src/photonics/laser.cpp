@@ -3,14 +3,33 @@
 #include <cmath>
 #include <numbers>
 
+#include "photonics/simd.hpp"
+
 namespace onfiber::phot {
+
+namespace {
+
+/// Purpose tags separating the laser's two streams under one seed.
+constexpr std::uint64_t kRinTag = 0x6c61735249ULL;    // "lasRI"
+constexpr std::uint64_t kPhaseTag = 0x6c61735048ULL;  // "lasPH"
+
+std::uint64_t stream_base(rng& noise_stream) { return noise_stream(); }
+
+}  // namespace
 
 laser::laser(laser_config config, rng noise_stream, energy_ledger* ledger,
              energy_costs costs)
     : config_(config),
-      gen_(noise_stream),
+      rin_stream_(0),
+      phase_stream_(0),
       ledger_(ledger),
       costs_(costs) {
+  // Derive the two per-purpose counter keys from one draw of the seed
+  // stream: RIN and phase draws live on unrelated streams, so either can
+  // be filled, skipped, or vectorized without disturbing the other.
+  const std::uint64_t base = stream_base(noise_stream);
+  rin_stream_ = counter_stream(counter_rng::key_of(base, kRinTag));
+  phase_stream_ = counter_stream(counter_rng::key_of(base, kPhaseTag));
   if (config_.enable_phase_noise && config_.symbol_rate_hz > 0.0) {
     phase_step_sigma_ = std::sqrt(2.0 * std::numbers::pi *
                                   config_.linewidth_hz /
@@ -26,33 +45,32 @@ laser::laser(laser_config config, rng noise_stream, energy_ledger* ledger,
   }
 }
 
-std::size_t laser::draws_per_symbol() const {
-  return (config_.enable_rin ? 1u : 0u) +
-         (phase_step_sigma_ > 0.0 ? 1u : 0u);
+void laser::skip_symbols(std::uint64_t symbols) {
+  rin_stream_.skip(symbols);
+  phase_stream_.skip(symbols);
 }
 
-double laser::step_power(const double*& draw) {
+field laser::emit_one() {
+  // Every symbol consumes exactly one index of each stream — disabled
+  // noise skips the index rather than not consuming it — so stream
+  // positions are a pure function of symbols emitted, whatever the
+  // config. That invariant is what makes skip_symbols O(1).
   double power = config_.power_mw;
   if (config_.enable_rin) {
-    power += rin_sigma_mw_ * *draw++;
+    power += rin_sigma_mw_ * rin_stream_.normal();
     if (power < 0.0) power = 0.0;
+  } else {
+    rin_stream_.skip(1);
   }
   if (phase_step_sigma_ > 0.0) {
-    phase_ += phase_step_sigma_ * *draw++;
+    phase_ += phase_step_sigma_ * phase_stream_.normal();
     // Keep the accumulated phase bounded for numerical hygiene.
     if (phase_ > 1e6 || phase_ < -1e6) {
       phase_ = std::remainder(phase_, 2.0 * std::numbers::pi);
     }
+  } else {
+    phase_stream_.skip(1);
   }
-  return power;
-}
-
-field laser::emit_one() {
-  double draws[2];
-  const std::size_t n_draws = draws_per_symbol();
-  for (std::size_t i = 0; i < n_draws; ++i) draws[i] = gen_.normal();
-  const double* cursor = draws;
-  const double power = step_power(cursor);
   if (ledger_ != nullptr) {
     ledger_->charge("laser", costs_.laser_j_per_symbol);
   }
@@ -61,13 +79,39 @@ field laser::emit_one() {
 
 void laser::emit(std::size_t symbols, waveform& out) {
   out.resize(symbols);
-  const std::size_t per_symbol = draws_per_symbol();
-  noise_scratch_.resize(per_symbol * symbols);
-  gen_.fill_normal(noise_scratch_);
-  const double* cursor = noise_scratch_.data();
+  const bool has_rin = config_.enable_rin;
+  const bool has_phase = phase_step_sigma_ > 0.0;
+  const double* rin_draws = nullptr;
+  const double* phase_draws = nullptr;
+  if (has_rin) {
+    rin_scratch_.resize(symbols);
+    rin_stream_.fill_normal(rin_scratch_);
+    rin_draws = rin_scratch_.data();
+  } else {
+    rin_stream_.skip(symbols);
+  }
+  if (has_phase) {
+    phase_scratch_.resize(symbols);
+    phase_stream_.fill_normal(phase_scratch_);
+    phase_draws = phase_scratch_.data();
+  } else {
+    phase_stream_.skip(symbols);
+  }
+  const double base = config_.power_mw;
+  const double rin_sigma = rin_sigma_mw_;
+  const double phase_sigma = phase_step_sigma_;
   for (std::size_t i = 0; i < symbols; ++i) {
-    // Sequence the power step before reading phase_ (step_power mutates it).
-    const double power = step_power(cursor);
+    double power = base;
+    if (has_rin) {
+      power += rin_sigma * rin_draws[i];
+      if (power < 0.0) power = 0.0;
+    }
+    if (has_phase) {
+      phase_ += phase_sigma * phase_draws[i];
+      if (phase_ > 1e6 || phase_ < -1e6) {
+        phase_ = std::remainder(phase_, 2.0 * std::numbers::pi);
+      }
+    }
     out[i] = make_field(power, phase_);
   }
   if (ledger_ != nullptr && symbols > 0) {
@@ -79,38 +123,36 @@ void laser::emit(std::size_t symbols, waveform& out) {
 
 void laser::emit_powers(std::span<double> out_powers) {
   const std::size_t symbols = out_powers.size();
-  const std::size_t per_symbol = draws_per_symbol();
-  noise_scratch_.resize(per_symbol * symbols);
-  // Pass 1 (scalar, sequence-preserving): all noise draws up front, in
-  // exactly the interleaved [RIN, phase] order step_power consumes them.
-  gen_.fill_normal(noise_scratch_);
-  const double* draws = noise_scratch_.data();
   const bool has_rin = config_.enable_rin;
   const bool has_phase = phase_step_sigma_ > 0.0;
-  // Pass 2a (branch-free, vectorizable): symbol powers from the RIN draws.
+  // RIN pass: dispatched counter fill + branch-free power pass, both
+  // vectorized at the active SIMD level (same draw indices as emit_one).
   if (has_rin) {
-    const double base = config_.power_mw;
-    const double sigma = rin_sigma_mw_;
-    for (std::size_t i = 0; i < symbols; ++i) {
-      const double p = base + sigma * draws[i * per_symbol];
-      out_powers[i] = p < 0.0 ? 0.0 : p;
-    }
+    rin_scratch_.resize(symbols);
+    rin_stream_.fill_normal(rin_scratch_);
+    simd::active().rin_power(rin_scratch_.data(), symbols, config_.power_mw,
+                             rin_sigma_mw_, out_powers.data());
   } else {
+    rin_stream_.skip(symbols);
     for (std::size_t i = 0; i < symbols; ++i) out_powers[i] = config_.power_mw;
   }
-  // Pass 2b (scalar, order-preserving): the phase walk is a running sum,
-  // so its additions must stay in symbol order to keep phase_ bit-exact.
+  // Phase pass: the walk is a running sum, so its additions stay in
+  // symbol order to keep phase_ bit-exact with the scalar path; only the
+  // draw generation is vectorized.
   if (has_phase) {
-    const std::size_t offset = has_rin ? 1 : 0;
+    phase_scratch_.resize(symbols);
+    phase_stream_.fill_normal(phase_scratch_);
     const double sigma = phase_step_sigma_;
     double ph = phase_;
     for (std::size_t i = 0; i < symbols; ++i) {
-      ph += sigma * draws[i * per_symbol + offset];
+      ph += sigma * phase_scratch_[i];
       if (ph > 1e6 || ph < -1e6) {
         ph = std::remainder(ph, 2.0 * std::numbers::pi);
       }
     }
     phase_ = ph;
+  } else {
+    phase_stream_.skip(symbols);
   }
   if (ledger_ != nullptr && symbols > 0) {
     ledger_->charge("laser",

@@ -29,6 +29,8 @@ struct laser_config {
 /// 2*pi*linewidth/symbol_rate per step (standard Wiener phase-noise model).
 class laser {
  public:
+  /// `noise_stream` seeds the laser's two counter-based noise streams
+  /// (RIN and phase walk) — one u64 is drawn from it to key them.
   laser(laser_config config, rng noise_stream,
         energy_ledger* ledger = nullptr, energy_costs costs = {});
 
@@ -44,28 +46,31 @@ class laser {
   [[nodiscard]] field emit_one();
 
   /// Intensity-path kernel: per-symbol optical powers [mW] without the
-  /// phasor construction. RIN and phase-walk noise are drawn in exactly
-  /// the scalar order (so the stream stays aligned with `emit_one`), but
-  /// the trigonometric projection of the phase is skipped — the carrier
-  /// phase is unobservable under direct square-law detection.
+  /// phasor construction. Draws the same counter-stream indices as
+  /// `emit_one` (so the streams stay aligned), but the trigonometric
+  /// projection of the phase is skipped — the carrier phase is
+  /// unobservable under direct square-law detection.
   void emit_powers(std::span<double> out_powers);
+
+  /// Advance both noise streams past `symbols` symbols in O(1) without
+  /// generating anything — the counter streams make draw index i
+  /// addressable directly. The phase accumulator is NOT walked forward,
+  /// so this is only valid on intensity-domain paths (emit_powers),
+  /// where phase is unobservable; the batched GEMM uses it to hand
+  /// disjoint sample ranges of one row to different workers.
+  void skip_symbols(std::uint64_t symbols);
 
   [[nodiscard]] const laser_config& config() const { return config_; }
 
  private:
-  /// Noise draws consumed per emitted symbol (RIN + phase walk).
-  [[nodiscard]] std::size_t draws_per_symbol() const;
-
-  /// Apply one symbol's pre-drawn noise; returns the symbol power [mW]
-  /// and advances the phase walk.
-  double step_power(const double*& draw);
-
   laser_config config_;
-  rng gen_;
+  counter_stream rin_stream_;    ///< one draw index per symbol, always
+  counter_stream phase_stream_;  ///< one draw index per symbol, always
   double phase_ = 0.0;
   double phase_step_sigma_ = 0.0;
   double rin_sigma_mw_ = 0.0;  ///< RIN power fluctuation, hoisted from config
-  std::vector<double> noise_scratch_;  ///< batched noise draws, reused
+  std::vector<double> rin_scratch_;    ///< batched RIN draws, reused
+  std::vector<double> phase_scratch_;  ///< batched phase draws, reused
   energy_ledger* ledger_ = nullptr;
   energy_costs costs_{};
 };

@@ -1,12 +1,22 @@
 #include "photonics/photodetector.hpp"
 
 #include <algorithm>
+#include <cmath>
+
+#include "photonics/simd.hpp"
 
 namespace onfiber::phot {
 
+namespace {
+constexpr std::uint64_t kDetectorTag = 0x706474ULL;  // "pdt"
+}  // namespace
+
 photodetector::photodetector(photodetector_config config, rng noise_stream,
                              energy_ledger* ledger, energy_costs costs)
-    : config_(config), gen_(noise_stream), ledger_(ledger), costs_(costs) {}
+    : config_(config),
+      noise_(counter_rng::key_of(noise_stream(), kDetectorTag)),
+      ledger_(ledger),
+      costs_(costs) {}
 
 double photodetector::clip(double current_a) const {
   return std::clamp(current_a, -config_.saturation_current_a,
@@ -15,7 +25,8 @@ double photodetector::clip(double current_a) const {
 
 double photodetector::detect(field in) {
   const double signal_a = expected_current_a(power_mw(in));
-  const double noise_a = config_.noise.sample_current_noise_a(signal_a, gen_);
+  const double noise_a =
+      config_.noise.sample_current_noise_a(signal_a, noise_);
   if (ledger_ != nullptr) {
     ledger_->charge("photodetector", costs_.photodetector_readout_j);
   }
@@ -26,6 +37,10 @@ std::vector<double> photodetector::detect(std::span<const field> in) {
   const std::size_t n = in.size();
   std::vector<double> out(n);
   if (n == 0) return out;
+  // Two-pass, unconditionally: a readout consumes one counter draw index
+  // whether or not its variance is positive (a zero variance multiplies
+  // the draw by exactly 0.0), so the fill needs no gating on the noise
+  // configuration and batch stays bit-identical to the scalar loop.
   const receiver_noise_config& nz = config_.noise;
   const double t_sigma =
       nz.enable_thermal
@@ -33,39 +48,30 @@ std::vector<double> photodetector::detect(std::span<const field> in) {
                                   nz.bandwidth_hz)
           : 0.0;
   const double t_var = t_sigma * t_sigma;
-  if (t_var > 0.0) {
-    // Two-pass fast path, gated on thermal noise: sample_current_noise_a
-    // skips its draw entirely when the variance is zero, and the shot
-    // term vanishes with the signal — only a positive thermal floor
-    // guarantees every symbol consumes exactly one draw, which is what
-    // lets the noise fill run up front in scalar order.
-    noise_scratch_.resize(n);
-    gen_.fill_normal(noise_scratch_);
-    const double sat = config_.saturation_current_a;
-    const bool shot = nz.enable_shot;
-    const double bandwidth = nz.bandwidth_hz;
+  noise_scratch_.resize(n);
+  noise_.fill_normal(noise_scratch_);
+  const double sat = config_.saturation_current_a;
+  const bool shot = nz.enable_shot;
+  const double bandwidth = nz.bandwidth_hz;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double signal_a = expected_current_a(power_mw(in[i]));
+    double variance = 0.0;
+    if (shot) {
+      const double s = shot_noise_sigma_a(signal_a, bandwidth);
+      variance += s * s;
+    }
+    variance += t_var;
+    double c = signal_a + std::sqrt(variance) * noise_scratch_[i];
+    c = c < -sat ? -sat : c;
+    c = c > sat ? sat : c;
+    out[i] = c;
+  }
+  if (ledger_ != nullptr) {
+    // Per-element charges, same sequence as the scalar loop (one bulk
+    // joules multiply would round the ledger total differently).
     for (std::size_t i = 0; i < n; ++i) {
-      const double signal_a = expected_current_a(power_mw(in[i]));
-      double variance = 0.0;
-      if (shot) {
-        const double s = shot_noise_sigma_a(signal_a, bandwidth);
-        variance += s * s;
-      }
-      variance += t_var;
-      double c = signal_a + std::sqrt(variance) * noise_scratch_[i];
-      c = c < -sat ? -sat : c;
-      c = c > sat ? sat : c;
-      out[i] = c;
+      ledger_->charge("photodetector", costs_.photodetector_readout_j);
     }
-    if (ledger_ != nullptr) {
-      // Per-element charges, same sequence as the scalar loop (one bulk
-      // joules multiply would round the ledger total differently).
-      for (std::size_t i = 0; i < n; ++i) {
-        ledger_->charge("photodetector", costs_.photodetector_readout_j);
-      }
-    }
-  } else {
-    for (std::size_t i = 0; i < n; ++i) out[i] = detect(in[i]);
   }
   return out;
 }
@@ -79,7 +85,7 @@ double photodetector::integrate_mean(double mean_power_mw,
   // Gaussian noise equals scaling sigma by 1/sqrt(N).
   receiver_noise_config narrowed = config_.noise;
   narrowed.bandwidth_hz /= static_cast<double>(symbols);
-  const double noise_a = narrowed.sample_current_noise_a(signal_a, gen_);
+  const double noise_a = narrowed.sample_current_noise_a(signal_a, noise_);
 
   if (ledger_ != nullptr) {
     ledger_->charge("photodetector", costs_.photodetector_readout_j);
@@ -89,17 +95,20 @@ double photodetector::integrate_mean(double mean_power_mw,
 
 double photodetector::integrate(std::span<const field> in) {
   if (in.empty()) return 0.0;
-  double mean_power_mw = 0.0;
-  for (const field& e : in) mean_power_mw += power_mw(e);
-  mean_power_mw /= static_cast<double>(in.size());
-  return integrate_mean(mean_power_mw, in.size());
+  // Project to powers first so field- and power-domain integration sum
+  // identical values in the identical (blocked) order.
+  power_scratch_.resize(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    power_scratch_[i] = power_mw(in[i]);
+  }
+  return integrate_power(power_scratch_);
 }
 
 double photodetector::integrate_power(std::span<const double> power_mw) {
   if (power_mw.empty()) return 0.0;
-  double mean_power_mw = 0.0;
-  for (const double p : power_mw) mean_power_mw += p;
-  mean_power_mw /= static_cast<double>(power_mw.size());
+  const double mean_power_mw =
+      simd::active().blocked_sum(power_mw.data(), power_mw.size()) /
+      static_cast<double>(power_mw.size());
   return integrate_mean(mean_power_mw, power_mw.size());
 }
 

@@ -47,6 +47,10 @@ class photodetector {
   /// square-law detector cannot observe the field phase anyway).
   [[nodiscard]] double integrate_power(std::span<const double> power_mw);
 
+  /// Advance the noise stream past `readouts` detect/integrate readouts
+  /// in O(1) — each readout consumes exactly one counter draw index.
+  void skip_readouts(std::uint64_t readouts) { noise_.skip(readouts); }
+
   [[nodiscard]] const photodetector_config& config() const { return config_; }
 
   /// Noiseless expected current for a given optical power [mW] — the
@@ -62,10 +66,11 @@ class photodetector {
                                       std::size_t symbols);
 
   photodetector_config config_;
-  rng gen_;
+  counter_stream noise_;  ///< one draw index per readout, always
   energy_ledger* ledger_ = nullptr;
   energy_costs costs_{};
   std::vector<double> noise_scratch_;  ///< batched noise draws, reused
+  std::vector<double> power_scratch_;  ///< per-sample powers for integrate
 };
 
 }  // namespace onfiber::phot

@@ -107,6 +107,47 @@ class counter_rng {
   std::uint64_t state_;
 };
 
+/// Standard normal deviate `index` of counter stream `key`, as a pure
+/// function of both (counter-mode splitmix64 uniform through the inverse
+/// normal CDF). Draw i of stream k is independent of every other draw:
+/// no state, no draw order, no spare caching — which is what lets the
+/// sample-plane noise fills vectorize and split across threads while
+/// staying bit-identical. Defined in rng.cpp (compiled exactly once,
+/// with -ffp-contract=off) so every caller sees one bit pattern.
+[[nodiscard]] double counter_normal(std::uint64_t key, std::uint64_t index);
+
+/// A positioned view over one counter-based normal stream: (key, cursor).
+/// Scalar draws and bulk fills consume consecutive draw indices; `skip`
+/// advances the cursor in O(1) without generating (the property the
+/// batched GEMM uses to hand disjoint sample ranges of one row to
+/// different workers). Copying a stream copies its position.
+class counter_stream {
+ public:
+  explicit constexpr counter_stream(std::uint64_t key) : key_(key) {}
+
+  [[nodiscard]] constexpr std::uint64_t key() const { return key_; }
+  [[nodiscard]] constexpr std::uint64_t cursor() const { return cursor_; }
+  constexpr void seek(std::uint64_t index) { cursor_ = index; }
+  constexpr void skip(std::uint64_t draws) { cursor_ += draws; }
+
+  /// Next standard normal deviate (consumes one draw index).
+  [[nodiscard]] double normal() { return counter_normal(key_, cursor_++); }
+
+  /// Normal deviate with the given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  /// Fill `out` with the next out.size() deviates of this stream, via the
+  /// runtime-dispatched SIMD kernel (simd.hpp). Bit-identical to calling
+  /// `normal()` out.size() times, at every dispatch level.
+  void fill_normal(std::span<double> out);
+
+ private:
+  std::uint64_t key_;
+  std::uint64_t cursor_ = 0;
+};
+
 /// xoshiro256++ PRNG (Blackman & Vigna). Fast, high quality, deterministic.
 /// Satisfies std::uniform_random_bit_generator.
 class rng {

@@ -1,0 +1,124 @@
+#include "photonics/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace onfiber::phot::simd {
+
+namespace detail_tables {
+// Defined in simd_kernels_<level>.cpp, each compiled with its own -m
+// flags. On non-x86 hosts only the scalar TU is built and the others
+// alias it (see ONFIBER_SIMD_X86 below).
+kernel_table make_table_scalar();
+#if defined(ONFIBER_SIMD_X86)
+kernel_table make_table_sse4();
+kernel_table make_table_avx2();
+kernel_table make_table_avx512();
+#endif
+}  // namespace detail_tables
+
+namespace {
+
+const kernel_table& table_slot(level l) {
+  static const kernel_table scalar = detail_tables::make_table_scalar();
+#if defined(ONFIBER_SIMD_X86)
+  static const kernel_table sse4 = detail_tables::make_table_sse4();
+  static const kernel_table avx2 = detail_tables::make_table_avx2();
+  static const kernel_table avx512 = detail_tables::make_table_avx512();
+  switch (l) {
+    case level::sse4:
+      return sse4;
+    case level::avx2:
+      return avx2;
+    case level::avx512:
+      return avx512;
+    case level::scalar:
+      break;
+  }
+#else
+  (void)l;
+#endif
+  return scalar;
+}
+
+level detect_host_level() {
+#if defined(ONFIBER_SIMD_X86)
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512vl")) {
+    return level::avx512;
+  }
+  if (__builtin_cpu_supports("avx2")) return level::avx2;
+  if (__builtin_cpu_supports("sse4.1")) return level::sse4;
+#endif
+  return level::scalar;
+}
+
+/// ONFIBER_SIMD parse; returns detected (no clamp needed) when unset or
+/// unrecognized, and clamps explicit requests to what the host supports.
+level resolve_level(level detected) {
+  const char* env = std::getenv("ONFIBER_SIMD");
+  if (env == nullptr || *env == '\0') return detected;
+  level requested = detected;
+  if (std::strcmp(env, "scalar") == 0) {
+    requested = level::scalar;
+  } else if (std::strcmp(env, "sse4") == 0) {
+    requested = level::sse4;
+  } else if (std::strcmp(env, "avx2") == 0) {
+    requested = level::avx2;
+  } else if (std::strcmp(env, "avx512") == 0) {
+    requested = level::avx512;
+  } else {
+    return detected;
+  }
+  return requested <= detected ? requested : detected;
+}
+
+std::atomic<const kernel_table*>& active_slot() {
+  static std::atomic<const kernel_table*> slot{
+      &table_slot(resolve_level(detect_host_level()))};
+  return slot;
+}
+
+}  // namespace
+
+level detected_level() {
+  static const level cached = detect_host_level();
+  return cached;
+}
+
+bool level_supported(level l) { return l <= detected_level(); }
+
+const char* level_name(level l) {
+  switch (l) {
+    case level::scalar:
+      return "scalar";
+    case level::sse4:
+      return "sse4";
+    case level::avx2:
+      return "avx2";
+    case level::avx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+const kernel_table& table_for(level l) { return table_slot(l); }
+
+const kernel_table& active() {
+  return *active_slot().load(std::memory_order_acquire);
+}
+
+bool set_level(level l) {
+  if (!level_supported(l)) return false;
+  active_slot().store(&table_slot(l), std::memory_order_release);
+  return true;
+}
+
+void refresh() {
+  active_slot().store(&table_slot(resolve_level(detected_level())),
+                      std::memory_order_release);
+}
+
+}  // namespace onfiber::phot::simd

@@ -1,0 +1,11 @@
+// simd_kernels_avx2.cpp — AVX2 tier (4 doubles). Compiled with -mavx2;
+// note the 52-bit uniform construction in rng_counter_detail.hpp exists
+// precisely so this tier needs no packed u64->f64 conversion (AVX2 has
+// none).
+#include "photonics/simd_kernels_impl.hpp"
+
+namespace onfiber::phot::simd::detail_tables {
+
+kernel_table make_table_avx2() { return make_kernel_table(level::avx2, "avx2"); }
+
+}  // namespace onfiber::phot::simd::detail_tables

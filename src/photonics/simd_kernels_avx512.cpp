@@ -1,0 +1,13 @@
+// simd_kernels_avx512.cpp — AVX-512 tier (8 doubles). Compiled with
+// -mavx512f -mavx512dq -mavx512vl: DQ supplies the packed 64-bit multiply
+// (vpmullq) the counter mix wants, VL lets the compiler use 256-bit ops
+// for remainders. Dispatch gates on all three cpuid bits.
+#include "photonics/simd_kernels_impl.hpp"
+
+namespace onfiber::phot::simd::detail_tables {
+
+kernel_table make_table_avx512() {
+  return make_kernel_table(level::avx512, "avx512");
+}
+
+}  // namespace onfiber::phot::simd::detail_tables

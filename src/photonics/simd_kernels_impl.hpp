@@ -1,0 +1,123 @@
+// simd_kernels_impl.hpp — the one source of truth for the dispatched
+// kernel loops. Each simd_kernels_<level>.cpp includes this header and is
+// compiled with that level's -m flags; the loops are written as plain
+// branch-free element-wise passes so the auto-vectorizer can widen them
+// without changing a single result (see the contract in simd.hpp).
+//
+// Everything here has internal linkage on purpose: four copies of these
+// functions exist in the binary, one per ISA, and the tables hand out
+// pointers to their own TU's copies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "photonics/rng_counter_detail.hpp"
+#include "photonics/simd.hpp"
+
+namespace onfiber::phot::simd {
+namespace {
+
+void fill_normal_kernel(std::uint64_t key, std::uint64_t base, double* out,
+                        std::size_t n) {
+  // Blocked: uniforms land in a stack buffer so the tail fixup still has
+  // them after the central pass overwrites `out`. Both hot passes are
+  // branch-free and vectorize; the tail pass (~4.85% taken) calls the
+  // shared scalar function, so every ISA produces the same tail bits.
+  constexpr std::size_t kBlock = 512;
+  double u[kBlock];
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t m = n - done < kBlock ? n - done : kBlock;
+    const std::uint64_t b = base + done;
+    for (std::size_t i = 0; i < m; ++i) {
+      u[i] = detail::counter_uniform_open(key, b + i);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      out[done + i] = detail::inv_normal_central(u[i]);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      if (u[i] < detail::kInvNormPLow || u[i] > detail::kInvNormPHigh) {
+        out[done + i] = detail::inv_normal_tail(u[i]);
+      }
+    }
+    done += m;
+  }
+}
+
+void rin_power_kernel(const double* noise, std::size_t n, double base_mw,
+                      double sigma_mw, double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p = base_mw + sigma_mw * noise[i];
+    out[i] = p < 0.0 ? 0.0 : p;
+  }
+}
+
+/// Branch-free quantize-to-grid (clip as min/max, then snap). Must stay
+/// in this exact arithmetic order: the scalar converter paths compute the
+/// same expression.
+inline double quantize_bf(double value, double full_scale, double levels) {
+  double c = value < 0.0 ? 0.0 : value;
+  c = c > full_scale ? full_scale : c;
+  return std::round(c / full_scale * levels) / levels * full_scale;
+}
+
+void dac_pass_kernel(const double* in, const double* noise, std::size_t n,
+                     double full_scale, double levels, double sigma,
+                     double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double q = quantize_bf(in[i], full_scale, levels);
+    double o = q + sigma * noise[i];
+    o = o < 0.0 ? 0.0 : o;
+    o = o > full_scale ? full_scale : o;
+    out[i] = o;
+  }
+}
+
+void adc_pass_kernel(const double* in, const double* noise, std::size_t n,
+                     double full_scale, double levels, double sigma,
+                     double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = quantize_bf(in[i] + sigma * noise[i], full_scale, levels);
+  }
+}
+
+void triple_product_kernel(const double* p, const double* a, const double* b,
+                           std::size_t n, double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = p[i] * a[i] * b[i];
+  }
+}
+
+double blocked_sum_kernel(const double* x, std::size_t n) {
+  // Eight independent accumulators, folded in a fixed tree: accumulator j
+  // sees x[j], x[8+j], x[16+j], ... in order at every vector width, so
+  // scalar, SSE (2 lanes), AVX2 (4) and AVX-512 (8) all round the same.
+  double acc[8] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (std::size_t j = 0; j < 8; ++j) acc[j] += x[i + j];
+  }
+  for (std::size_t j = 0; i < n; ++i, ++j) acc[j] += x[i];
+  const double a01 = acc[0] + acc[1];
+  const double a23 = acc[2] + acc[3];
+  const double a45 = acc[4] + acc[5];
+  const double a67 = acc[6] + acc[7];
+  return (a01 + a23) + (a45 + a67);
+}
+
+[[maybe_unused]] kernel_table make_kernel_table(level lvl, const char* name) {
+  kernel_table t;
+  t.lvl = lvl;
+  t.name = name;
+  t.fill_normal = &fill_normal_kernel;
+  t.rin_power = &rin_power_kernel;
+  t.dac_pass = &dac_pass_kernel;
+  t.adc_pass = &adc_pass_kernel;
+  t.triple_product = &triple_product_kernel;
+  t.blocked_sum = &blocked_sum_kernel;
+  return t;
+}
+
+}  // namespace
+}  // namespace onfiber::phot::simd

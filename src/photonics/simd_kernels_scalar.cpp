@@ -1,0 +1,13 @@
+// simd_kernels_scalar.cpp — reference tier. Compiled with the
+// auto-vectorizer disabled (see src/photonics/CMakeLists.txt) so
+// ONFIBER_SIMD=scalar really exercises the one-element-at-a-time code
+// every other tier must match bit-for-bit.
+#include "photonics/simd_kernels_impl.hpp"
+
+namespace onfiber::phot::simd::detail_tables {
+
+kernel_table make_table_scalar() {
+  return make_kernel_table(level::scalar, "scalar");
+}
+
+}  // namespace onfiber::phot::simd::detail_tables

@@ -1,0 +1,10 @@
+// simd_kernels_sse4.cpp — SSE4.1 tier (2 doubles per lane group).
+// Compiled with -msse4.1; the loops in simd_kernels_impl.hpp are widened
+// by the auto-vectorizer.
+#include "photonics/simd_kernels_impl.hpp"
+
+namespace onfiber::phot::simd::detail_tables {
+
+kernel_table make_table_sse4() { return make_kernel_table(level::sse4, "sse4"); }
+
+}  // namespace onfiber::phot::simd::detail_tables

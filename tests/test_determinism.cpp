@@ -15,6 +15,19 @@
 //
 // To re-capture after an intentional stream change, run this binary
 // with ONFIBER_REGOLD=1 and paste the dumped table + counters.
+//
+// When the sample-plane kernel noise (laser RIN/phase, DAC/ADC, fiber
+// ASE, photodetector) moved from sequential polar-method draws to
+// counter-indexed inverse-CDF streams, no re-capture was needed: the
+// trace records arrival times and BER-driven corruption, neither of
+// which depends on kernel-noise sample values. Changing the kernel
+// noise *distribution machinery* is therefore invisible here by
+// design; this trace guards the datapath, and the kernel-noise
+// contract is pinned separately (test_kernels.cpp scalar==batch,
+// test_simd_dispatch.cpp cross-ISA exact equality). The trace must
+// also be invariant across ONFIBER_SIMD levels — the dispatch tier,
+// like the thread count, may not move a timestamp (check.sh re-runs
+// this suite at scalar and native levels).
 #include <gtest/gtest.h>
 
 #include <cstdio>

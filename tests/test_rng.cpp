@@ -232,5 +232,119 @@ TEST(CounterRng, PoissonZeroAndNegativeMean) {
   EXPECT_EQ(g.poisson(-1.0), 0u);
 }
 
+// ------------------------------------------------ counter-based normals
+
+TEST(CounterNormal, Moments) {
+  const std::uint64_t key = counter_rng::key_of(61);
+  double sum = 0.0, sq = 0.0, cube = 0.0;
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = counter_normal(key, static_cast<std::uint64_t>(i));
+    sum += x;
+    sq += x * x;
+    cube += x * x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);     // mean
+  EXPECT_NEAR(sq / n, 1.0, 0.02);      // variance
+  EXPECT_NEAR(cube / n, 0.0, 0.05);    // skew
+}
+
+TEST(CounterNormal, TailQuantilesMatchNormalCdf) {
+  // The inverse-CDF construction must populate the tails with the right
+  // mass (the polar method gets this implicitly; here it is the explicit
+  // contract of the Acklam approximation + tail branch).
+  const std::uint64_t key = counter_rng::key_of(67);
+  constexpr int n = 200000;
+  int beyond_1 = 0, beyond_2 = 0, beyond_3 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = std::abs(counter_normal(key, i));
+    beyond_1 += x > 1.0;
+    beyond_2 += x > 2.0;
+    beyond_3 += x > 3.0;
+  }
+  EXPECT_NEAR(beyond_1 / static_cast<double>(n), 0.3173, 0.01);
+  EXPECT_NEAR(beyond_2 / static_cast<double>(n), 0.0455, 0.004);
+  EXPECT_NEAR(beyond_3 / static_cast<double>(n), 0.0027, 0.001);
+}
+
+TEST(CounterNormal, DrawIndexIsDirectlyAddressable) {
+  // Draw i is a pure function of (key, i): reading draws out of order, or
+  // twice, reproduces the in-order stream exactly.
+  const std::uint64_t key = counter_rng::key_of(71);
+  std::vector<double> forward(257);
+  for (std::size_t i = 0; i < forward.size(); ++i) {
+    forward[i] = counter_normal(key, i);
+  }
+  for (std::size_t i = forward.size(); i-- > 0;) {
+    EXPECT_EQ(counter_normal(key, i), forward[i]);
+  }
+}
+
+TEST(CounterNormal, KeysAreIndependent) {
+  const std::uint64_t a = counter_rng::key_of(73, 1);
+  const std::uint64_t b = counter_rng::key_of(73, 2);
+  int same = 0;
+  double corr = 0.0;
+  constexpr int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const double xa = counter_normal(a, i);
+    const double xb = counter_normal(b, i);
+    same += xa == xb;
+    corr += xa * xb;
+  }
+  EXPECT_EQ(same, 0);
+  EXPECT_NEAR(corr / n, 0.0, 0.05);
+}
+
+TEST(CounterStream, SequentialMatchesDirectIndexing) {
+  const std::uint64_t key = counter_rng::key_of(79);
+  counter_stream s(key);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(s.normal(), counter_normal(key, i));
+  }
+  EXPECT_EQ(s.cursor(), 100u);
+}
+
+TEST(CounterStream, SkipEqualsDrawingAndDiscarding) {
+  const std::uint64_t key = counter_rng::key_of(83);
+  counter_stream skipped(key), drawn(key);
+  skipped.skip(1000);
+  for (int i = 0; i < 1000; ++i) (void)drawn.normal();
+  EXPECT_EQ(skipped.cursor(), drawn.cursor());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(skipped.normal(), drawn.normal());
+}
+
+TEST(CounterStream, FillMatchesScalarDraws) {
+  // fill_normal routes through the dispatched SIMD kernel; it must hand
+  // out exactly the draws that repeated normal() calls would, and leave
+  // the cursor in the same place.
+  const std::uint64_t key = counter_rng::key_of(89);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{64},
+                              std::size_t{513}, std::size_t{2048}}) {
+    counter_stream bulk(key), scalar(key);
+    std::vector<double> out(n);
+    bulk.fill_normal(out);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(out[i], scalar.normal());
+    EXPECT_EQ(bulk.cursor(), scalar.cursor());
+  }
+}
+
+TEST(CounterStream, SeekRewindsExactly) {
+  counter_stream s(counter_rng::key_of(97));
+  std::vector<double> first(32);
+  for (double& x : first) x = s.normal();
+  s.seek(0);
+  for (const double x : first) EXPECT_EQ(s.normal(), x);
+}
+
+TEST(CounterStream, ScaledNormalAppliesMeanAndSigma) {
+  const std::uint64_t key = counter_rng::key_of(101);
+  counter_stream a(key), b(key);
+  for (int i = 0; i < 100; ++i) {
+    const double raw = a.normal();
+    EXPECT_EQ(b.normal(3.0, 2.0), 3.0 + 2.0 * raw);
+  }
+}
+
 }  // namespace
 }  // namespace onfiber::phot
