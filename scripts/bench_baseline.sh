@@ -2,21 +2,23 @@
 # Build the release preset and record the benchmark baselines in the repo
 # root: kernel performance in BENCH_kernels.json (the fig2a speedup_x key
 # is the scalar-vs-fused ratio the roadmap tracks), reliability /
-# robustness numbers in BENCH_robustness.json, and WAN-datapath
-# throughput in BENCH_fabric.json. Run after perf- or
-# reliability-relevant changes.
+# robustness numbers in BENCH_robustness.json, WAN-datapath
+# throughput in BENCH_fabric.json, and routing-plane reconvergence in
+# BENCH_controller.json. Run after perf- or reliability-relevant changes.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JSON_OUT="${1:-BENCH_kernels.json}"
 ROBUSTNESS_OUT="${2:-BENCH_robustness.json}"
 FABRIC_OUT="${3:-BENCH_fabric.json}"
+CONTROLLER_OUT="${4:-BENCH_controller.json}"
 
 cmake --preset release
 cmake --build --preset release -j"$(nproc)" --target \
   bench_fig2a_dot_product bench_fig2b_pattern_match bench_fig2c_nonlinear \
   bench_table1_ml_inference \
-  bench_fig4_transponder_path bench_ext_robustness bench_ext_fabric
+  bench_fig4_transponder_path bench_ext_robustness bench_ext_fabric \
+  bench_ext_spf
 
 ./build-release/bench/bench_fig2a_dot_product --json "$JSON_OUT"
 ./build-release/bench/bench_fig2b_pattern_match --json "$JSON_OUT"
@@ -25,6 +27,7 @@ cmake --build --preset release -j"$(nproc)" --target \
 ./build-release/bench/bench_fig4_transponder_path --json "$JSON_OUT"
 ./build-release/bench/bench_ext_robustness --json "$ROBUSTNESS_OUT"
 ./build-release/bench/bench_ext_fabric --json "$FABRIC_OUT"
+./build-release/bench/bench_ext_spf --json "$CONTROLLER_OUT"
 
 # The batched-datapath keys must be present: their absence means a bench
 # binary silently skipped the batched measurement (stale build or a
@@ -73,6 +76,21 @@ for key in robustness.shards1.completed robustness.shards2.completed \
   fi
 done
 
+# The incremental-SPF bench must have recorded the acceptance-bar keys
+# (>=1024-node headline plus the per-topology rows): a missing one means
+# the flap sweep silently skipped a topology or the headline rollup.
+for key in spf.speedup_vs_full spf.routes_touched_frac \
+           spf.fattree32.incremental_reconverge_us \
+           spf.fattree32.full_rebuild_us \
+           spf.fattree32.routes_touched_frac \
+           spf.waxman256.incremental_reconverge_us \
+           spf.failover_plan_us; do
+  if ! grep -q "\"$key\"" "$CONTROLLER_OUT"; then
+    echo "bench_baseline: missing key $key in $CONTROLLER_OUT" >&2
+    exit 1
+  fi
+done
+
 # The observability plane must have merged its counters into the bench
 # reports (obs.* keys from exporter::append_flat). A missing key means a
 # bench ran with the obs spot-check phase dropped or the plane silently
@@ -95,3 +113,6 @@ cat "$ROBUSTNESS_OUT"
 echo
 echo "== $FABRIC_OUT =="
 cat "$FABRIC_OUT"
+echo
+echo "== $CONTROLLER_OUT =="
+cat "$CONTROLLER_OUT"

@@ -29,6 +29,13 @@ ONFIBER_TRACE=1 ctest --preset asan --no-tests=error \
 ONFIBER_SHARDS=4 ctest --preset asan --no-tests=error \
   -R 'Reliability|Sharded'
 
+# Routing-plane asan gate: the incremental-SPF engine's delta passes
+# (subtree clearing, boundary reseeding, equality-tight restore fronts)
+# and the fabric's patch-based reconvergence re-run explicitly under
+# Address/UB sanitizers — pointer-chained child lists and epoch-stamped
+# scratch are exactly the structures asan is for.
+ctest --preset asan --no-tests=error -R 'Spf|Routing'
+
 # SIMD dispatch gate: the sample-plane kernel, determinism, and RNG
 # suites re-run under asan with the dispatch pinned to scalar and then
 # to the host's best tier (the default run above already exercised the
@@ -65,6 +72,13 @@ ctest --preset tsan --no-tests=error \
 # the window barrier, the SPSC channels, the per-shard reliability
 # tables, or the lock-free tracer fails here.
 ONFIBER_SHARDS=4 ctest --preset tsan --no-tests=error -R 'Sharded|Reliability'
+
+# Routing-plane tsan gate: the golden shard-sweep and reconvergence
+# tests re-run at ONFIBER_SHARDS=4 under -fsanitize=thread. Shard
+# threads read the SPF trees (failover planning) while the control
+# plane is the only writer — any tree mutation leaking into the
+# datapath window is a race and fails here.
+ONFIBER_SHARDS=4 ctest --preset tsan --no-tests=error -R 'Spf|Routing'
 ONFIBER_SHARDS=4 ONFIBER_FABRIC_PACKETS=2000 ONFIBER_TRACE=1 \
   ./build-tsan/bench/bench_ext_fabric --json /tmp/bench_fabric_tsan.json \
   > /dev/null

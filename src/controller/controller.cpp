@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <memory>
 #include <set>
 #include <stdexcept>
 
@@ -12,28 +13,36 @@ namespace {
 
 constexpr double inf = std::numeric_limits<double>::infinity();
 
-/// Precomputed all-pairs delays + residual capacities.
+/// Delay oracle + residual capacities. Delays come from a shared
+/// incremental-SPF engine when the caller has one (its per-source trees
+/// persist across solves) or from an owned all-links-up engine built for
+/// this solve. Either way only the sources the solve touches get a tree
+/// — the seed's eager all-pairs matrix is gone — and each tree dist is
+/// bit-identical to path_delay_s over the seed Dijkstra's path (same
+/// left-to-right float accumulation), so solver outputs are unchanged.
 struct solver_context {
   const allocation_problem& problem;
-  std::vector<std::vector<double>> delay;  ///< [u][v] shortest delay
+  net::spf_engine* spf = nullptr;
+  std::unique_ptr<net::spf_engine> owned;  ///< fallback when none shared
   std::vector<double> residual;            ///< per transponder
 
-  explicit solver_context(const allocation_problem& p) : problem(p) {
+  explicit solver_context(const allocation_problem& p,
+                          net::spf_engine* shared = nullptr)
+      : problem(p), spf(shared) {
     if (p.topo == nullptr) {
       throw std::invalid_argument("allocation_problem: missing topology");
     }
-    const auto n = static_cast<net::node_id>(p.topo->node_count());
-    delay.assign(n, std::vector<double>(n, inf));
-    for (net::node_id u = 0; u < n; ++u) {
-      delay[u][u] = 0.0;
-      for (net::node_id v = 0; v < n; ++v) {
-        if (u == v) continue;
-        const auto path = p.topo->shortest_path(u, v);
-        if (!path.empty()) delay[u][v] = p.topo->path_delay_s(path);
-      }
+    if (spf == nullptr) {
+      owned = std::make_unique<net::spf_engine>(*p.topo);
+      spf = owned.get();
     }
     residual.reserve(p.transponders.size());
     for (const auto& t : p.transponders) residual.push_back(t.capacity_ops_s);
+  }
+
+  /// Shortest delay u -> v [s]; inf when unreachable, 0 when u == v.
+  [[nodiscard]] double delay(net::node_id u, net::node_id v) const {
+    return spf->dist(u, v);
   }
 
   /// Delay of src -> sites... -> dst for a concrete site sequence.
@@ -43,12 +52,14 @@ struct solver_context {
     net::node_id cur = d.src;
     for (const std::uint32_t tid : tids) {
       const net::node_id s = problem.transponders[tid].node;
-      if (delay[cur][s] == inf) return inf;
-      total += delay[cur][s];
+      const double leg = delay(cur, s);
+      if (leg == inf) return inf;
+      total += leg;
       cur = s;
     }
-    if (delay[cur][d.dst] == inf) return inf;
-    return total + delay[cur][d.dst];
+    const double tail = delay(cur, d.dst);
+    if (tail == inf) return inf;
+    return total + tail;
   }
 };
 
@@ -71,7 +82,7 @@ std::optional<std::vector<std::uint32_t>> place_greedy(
       const transponder_info& t = ctx.problem.transponders[tid];
       if (!t.supports(prim) || local[tid] < d.rate_ops_s) continue;
       const double cost =
-          ctx.delay[cur][t.node] + ctx.delay[t.node][d.dst];
+          ctx.delay(cur, t.node) + ctx.delay(t.node, d.dst);
       if (cost < best_cost) {
         best_cost = cost;
         best_tid = tid;
@@ -150,9 +161,10 @@ void validate(const allocation_problem& p) {
 
 }  // namespace
 
-allocation_result solve_greedy(const allocation_problem& p) {
+allocation_result solve_greedy(const allocation_problem& p,
+                               net::spf_engine* spf) {
   validate(p);
-  solver_context ctx(p);
+  solver_context ctx(p, spf);
   allocation_result r;
   r.assignments.resize(p.demands.size());
   for (std::size_t i = 0; i < p.demands.size(); ++i) {
@@ -173,10 +185,11 @@ allocation_result solve_greedy(const allocation_problem& p) {
 }
 
 allocation_result solve_local_search(const allocation_problem& p,
-                                     std::size_t max_rounds) {
+                                     std::size_t max_rounds,
+                                     net::spf_engine* spf) {
   validate(p);
-  solver_context ctx(p);
-  allocation_result best = solve_greedy(p);
+  solver_context ctx(p, spf);
+  allocation_result best = solve_greedy(p, ctx.spf);
 
   // Track residual capacity under `best`.
   std::vector<double> residual = ctx.residual;
@@ -362,13 +375,14 @@ struct bnb_state {
 }  // namespace
 
 allocation_result solve_exact(const allocation_problem& p,
-                              std::size_t max_demands) {
+                              std::size_t max_demands,
+                              net::spf_engine* spf) {
   validate(p);
   if (p.demands.size() > max_demands) {
     throw std::invalid_argument(
         "solve_exact: instance exceeds max_demands guard");
   }
-  solver_context ctx(p);
+  solver_context ctx(p, spf);
   bnb_state state{p, ctx, ctx.residual,
                   std::vector<std::optional<std::vector<std::uint32_t>>>(
                       p.demands.size()),
@@ -397,8 +411,14 @@ allocation_result solve_exact(const allocation_problem& p,
 }
 
 std::vector<compute_route_entry> routes_for_allocation(
-    const allocation_problem& p, const allocation_result& r) {
+    const allocation_problem& p, const allocation_result& r,
+    net::spf_engine* spf) {
   validate(p);
+  std::unique_ptr<net::spf_engine> owned;
+  if (spf == nullptr) {
+    owned = std::make_unique<net::spf_engine>(*p.topo);
+    spf = owned.get();
+  }
   std::vector<compute_route_entry> out;
   // First writer wins per (node, prefix, primitive).
   std::set<std::tuple<net::node_id, std::uint32_t, int, std::uint8_t>> seen;
@@ -412,7 +432,7 @@ std::vector<compute_route_entry> routes_for_allocation(
     for (std::size_t stage = 0; stage < a.transponder_ids.size(); ++stage) {
       const net::node_id site =
           p.transponders[a.transponder_ids[stage]].node;
-      const auto leg = p.topo->shortest_path(cur, site);
+      const auto leg = spf->path(cur, site);
       for (std::size_t i = 0; i + 1 < leg.size(); ++i) {
         const auto key = std::make_tuple(
             leg[i], dst_prefix.network.value, dst_prefix.length,
@@ -477,6 +497,30 @@ std::optional<failover_plan> plan_failover_site(
       const auto leg = topo.shortest_path(site, dst, links_up);
       if (leg.empty()) continue;
       via += topo.path_delay_s(leg);
+    }
+    if (!best || via < best->via_delay_s) {
+      best = failover_plan{site, via};
+    }
+  }
+  return best;
+}
+
+std::optional<failover_plan> plan_failover_site(
+    net::spf_engine& spf, std::span<const net::node_id> capable_sites,
+    net::node_id exclude_site, net::node_id src, net::node_id dst) {
+  std::optional<failover_plan> best;
+  for (const net::node_id site : capable_sites) {
+    if (site == exclude_site) continue;
+    double via = 0.0;
+    if (site != src) {
+      const double leg = spf.dist(src, site);
+      if (leg == inf) continue;
+      via += leg;
+    }
+    if (site != dst) {
+      const double leg = spf.dist(site, dst);
+      if (leg == inf) continue;
+      via += leg;
     }
     if (!best || via < best->via_delay_s) {
       best = failover_plan{site, via};

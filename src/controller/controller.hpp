@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "network/spf.hpp"
 #include "network/topology.hpp"
 #include "protocol/compute_header.hpp"
 
@@ -84,20 +85,30 @@ struct allocation_problem {
   std::vector<compute_demand> demands;
 };
 
+// Every solver takes an optional shared incremental-SPF engine over
+// p.topo. When given, delay lookups reuse its persistent per-source
+// trees (built lazily, only for sources the solve actually touches, and
+// reusable across epochs); when null, a throwaway all-links-up engine is
+// built for the solve. Results are identical either way provided the
+// shared engine's link state is all-up — the historical solver contract.
+
 /// Greedy solver: demands in descending value order; each stage placed on
 /// the feasible transponder minimizing incremental path delay.
-[[nodiscard]] allocation_result solve_greedy(const allocation_problem& p);
+[[nodiscard]] allocation_result solve_greedy(const allocation_problem& p,
+                                             net::spf_engine* spf = nullptr);
 
 /// Greedy + hill climbing: single-stage reassignment moves and attempts
 /// to satisfy unsatisfied demands after capacity shuffles.
 [[nodiscard]] allocation_result solve_local_search(
-    const allocation_problem& p, std::size_t max_rounds = 16);
+    const allocation_problem& p, std::size_t max_rounds = 16,
+    net::spf_engine* spf = nullptr);
 
 /// Exact branch and bound. Exponential in demand count — intended for
 /// instances up to ~12 demands; throws std::invalid_argument beyond
 /// `max_demands` as a guard.
 [[nodiscard]] allocation_result solve_exact(const allocation_problem& p,
-                                            std::size_t max_demands = 16);
+                                            std::size_t max_demands = 16,
+                                            net::spf_engine* spf = nullptr);
 
 // ---------------------------------------------------------------- routes
 
@@ -114,7 +125,8 @@ struct compute_route_entry {
 /// "delivers next-hop updates to all routers"). For each satisfied demand,
 /// routes steer along src -> site(s) -> dst shortest paths.
 [[nodiscard]] std::vector<compute_route_entry> routes_for_allocation(
-    const allocation_problem& p, const allocation_result& r);
+    const allocation_problem& p, const allocation_result& r,
+    net::spf_engine* spf = nullptr);
 
 // -------------------------------------------------------------- failover
 
@@ -135,6 +147,17 @@ struct failover_plan {
     const net::topology& topo, std::span<const net::node_id> capable_sites,
     net::node_id exclude_site, net::node_id src, net::node_id dst,
     const std::vector<bool>* links_up = nullptr);
+
+/// Same plan, answered from a shared incremental-SPF engine's trees
+/// (O(1) delay lookups under the engine's own link state) instead of
+/// running Dijkstra per candidate leg. Picks the identical site with the
+/// identical via-delay: the engine's dists are bit-equal to the per-leg
+/// path_delay_s sums. The engine's trees must already cover the queried
+/// sources when called from shard threads (wan_fabric's first install
+/// guarantees that for its engine).
+[[nodiscard]] std::optional<failover_plan> plan_failover_site(
+    net::spf_engine& spf, std::span<const net::node_id> capable_sites,
+    net::node_id exclude_site, net::node_id src, net::node_id dst);
 
 // -------------------------------------------------------- reconfiguration
 

@@ -1,20 +1,12 @@
 #include "controller/rwa.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 
 namespace onfiber::ctrl {
 
 namespace {
-
-/// Index of the link joining adjacent nodes u, v.
-std::size_t link_between(const net::topology& topo, net::node_id u,
-                         net::node_id v) {
-  for (const std::size_t li : topo.incident_links(u)) {
-    if (topo.neighbor(u, li) == v) return li;
-  }
-  throw std::invalid_argument("rwa: path nodes not adjacent");
-}
 
 /// Directed fiber along a hop: WDM links are unidirectional fiber pairs,
 /// so the occupancy key is (link, direction). A lightpath that detours
@@ -28,7 +20,7 @@ std::vector<std::size_t> path_fibers(const net::topology& topo,
   std::vector<std::size_t> fibers;
   fibers.reserve(path.size() - 1);
   for (std::size_t i = 1; i < path.size(); ++i) {
-    const std::size_t li = link_between(topo, path[i - 1], path[i]);
+    const std::size_t li = topo.link_between(path[i - 1], path[i]);
     const int dir = topo.links()[li].a == path[i - 1] ? 0 : 1;
     fibers.push_back(li * 2 + static_cast<std::size_t>(dir));
   }
@@ -88,9 +80,15 @@ rwa_result assign_wavelengths_first_fit(
 }
 
 std::vector<lightpath_request> lightpaths_for_allocation(
-    const allocation_problem& p, const allocation_result& r) {
+    const allocation_problem& p, const allocation_result& r,
+    net::spf_engine* spf) {
   if (p.topo == nullptr) {
     throw std::invalid_argument("rwa: allocation problem missing topology");
+  }
+  std::unique_ptr<net::spf_engine> owned;
+  if (spf == nullptr) {
+    owned = std::make_unique<net::spf_engine>(*p.topo);
+    spf = owned.get();
   }
   std::vector<lightpath_request> out;
   for (const auto& a : r.assignments) {
@@ -103,7 +101,7 @@ std::vector<lightpath_request> lightpaths_for_allocation(
     net::node_id cur = d.src;
     req.path.push_back(cur);
     auto extend = [&](net::node_id to) {
-      const auto leg = p.topo->shortest_path(cur, to);
+      const auto leg = spf->path(cur, to);
       for (std::size_t i = 1; i < leg.size(); ++i) req.path.push_back(leg[i]);
       cur = to;
     };

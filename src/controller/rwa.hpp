@@ -49,9 +49,12 @@ struct rwa_result {
 
 /// Expand a solved allocation into lightpath requests: one per satisfied
 /// demand, along src -> site(s) -> dst shortest paths (the same legs the
-/// route generator uses).
+/// route generator uses). `spf` (optional) answers the legs from a shared
+/// incremental-SPF engine's trees instead of per-leg Dijkstra — identical
+/// paths when the engine's link state is all-up.
 [[nodiscard]] std::vector<lightpath_request> lightpaths_for_allocation(
-    const allocation_problem& p, const allocation_result& r);
+    const allocation_problem& p, const allocation_result& r,
+    net::spf_engine* spf = nullptr);
 
 /// Sanity checker used by tests: true iff no two assigned lightpaths
 /// share a link on the same wavelength.

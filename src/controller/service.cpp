@@ -32,6 +32,7 @@ controller_service::controller_service(net::simulator& sim,
                                        service_config config)
     : sim_(sim),
       topo_(topo),
+      spf_(topo),
       transponders_(std::move(transponders)),
       config_(config) {
   if (config_.epoch_s <= 0.0) {
@@ -62,13 +63,13 @@ allocation_result controller_service::solve(
     const allocation_problem& p) const {
   switch (config_.solver) {
     case solver_kind::greedy:
-      return solve_greedy(p);
+      return solve_greedy(p, &spf_);
     case solver_kind::local_search:
-      return solve_local_search(p);
+      return solve_local_search(p, 16, &spf_);
     case solver_kind::exact:
-      return solve_exact(p);
+      return solve_exact(p, 16, &spf_);
   }
-  return solve_greedy(p);
+  return solve_greedy(p, &spf_);
 }
 
 void controller_service::run_epoch() {
@@ -94,7 +95,7 @@ void controller_service::run_epoch() {
     for (const auto& [tid, prims] : next_active) reconfigs += prims.size();
   }
 
-  const auto routes = routes_for_allocation(p, r);
+  const auto routes = routes_for_allocation(p, r, &spf_);
   if (publish_) publish_(routes);
 
   history_.push_back(epoch_report{

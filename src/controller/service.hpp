@@ -107,6 +107,12 @@ class controller_service {
 
   net::simulator& sim_;
   const net::topology& topo_;
+  /// Persistent all-links-up SPF engine shared across epochs: the
+  /// per-source trees the solvers and route expansion query are built
+  /// once (lazily, per source actually used) instead of re-running
+  /// Dijkstra every epoch. Mutable because solve() is const and tree
+  /// construction is a cache fill.
+  mutable net::spf_engine spf_;
   std::vector<transponder_info> transponders_;
   service_config config_;
   std::vector<timed_demand> demands_;

@@ -12,13 +12,15 @@
 namespace onfiber::core {
 
 onfiber_runtime::onfiber_runtime(net::simulator& sim, net::topology topo)
-    : sim_(sim), fabric_(sim, std::move(topo)) {
+    : sim_(sim), fabric_(sim, std::move(topo)), baseline_spf_(fabric_.topo()) {
   init();
 }
 
 onfiber_runtime::onfiber_runtime(net::shard_engine& engine,
                                  net::topology topo)
-    : sim_(engine.primary()), fabric_(engine, std::move(topo)) {
+    : sim_(engine.primary()),
+      fabric_(engine, std::move(topo)),
+      baseline_spf_(fabric_.topo()) {
   init();
 }
 
@@ -32,6 +34,10 @@ void onfiber_runtime::init() {
     rel_shards_.push_back(std::make_unique<rel_shard>());
   }
   fabric_.install_shortest_path_routes();
+  // Build every baseline tree now, on the construction thread: on_timeout
+  // queries this engine from shard threads, which must never trigger a
+  // first build over there.
+  baseline_spf_.ensure_all_trees();
   // Keep route-derived steering state in sync with the routing plane:
   // every reconvergence (scheduled flaps included) refreshes the
   // spread-steering first-hop matrix.
@@ -327,12 +333,16 @@ void onfiber_runtime::on_timeout(std::uint32_t task_id,
   // Repeated timeouts mean the current compute site (or the path to it)
   // is gone: ask the controller for an alternate site over live links and
   // pin this task's retries to it. Planning runs right here on the owner
-  // shard — its inputs (immutable topology, the link map, the
-  // capable-site tables) are coordinator-owned and only ever written
-  // during control-plane events with every shard parked, so the reads
-  // are race-free; deferring the decision to a separate coordinator
-  // event would shift retransmit times and break the shard-count
-  // invariance of the recovery trace.
+  // shard — its inputs (the immutable topology's lookup caches, the
+  // pre-built SPF trees, the capable-site tables) are coordinator-owned
+  // and only ever written during control-plane events with every shard
+  // parked, so the reads are race-free; deferring the decision to a
+  // separate coordinator event would shift retransmit times and break
+  // the shard-count invariance of the recovery trace. Both plans answer
+  // from SSSP trees (O(1) delay lookups) instead of per-leg Dijkstra:
+  // the baseline from the never-mutated all-up engine, the live plan
+  // from the fabric engine, whose trees are eagerly delta-repaired on
+  // every fail/restore and therefore mirror fabric_.links_up() exactly.
   if (task.attempts >= reliability_cfg_.failover_after) {
     const net::topology& topo = fabric_.topo();
     const auto dst_node = topo.node_for_address(task.request.dst);
@@ -344,12 +354,12 @@ void onfiber_runtime::on_timeout(std::uint32_t task_id,
         // First failover: exclude the site the default (install-time)
         // routing would have used.
         const auto primary = ctrl::plan_failover_site(
-            topo, capable, net::invalid_node, task.ingress, *dst_node);
+            baseline_spf_, capable, net::invalid_node, task.ingress,
+            *dst_node);
         if (primary) exclude = primary->site;
       }
-      const auto plan =
-          ctrl::plan_failover_site(topo, capable, exclude, task.ingress,
-                                   *dst_node, &fabric_.links_up());
+      const auto plan = ctrl::plan_failover_site(
+          fabric_.spf(), capable, exclude, task.ingress, *dst_node);
       if (plan && plan->site != task.pinned_site) {
         task.pinned_site = plan->site;
         ++rs.stats.failovers;
@@ -466,19 +476,13 @@ void onfiber_runtime::install_compute_routes_via_nearest_site() {
   const net::topology& topo = fabric_.topo();
   const auto n = static_cast<net::node_id>(topo.node_count());
 
-  // All-pairs shortest-path delays (repeated Dijkstra; n is WAN-scale).
-  std::vector<std::vector<double>> delay(n, std::vector<double>(n, 0.0));
-  std::vector<std::vector<std::vector<net::node_id>>> paths(n);
-  for (net::node_id u = 0; u < n; ++u) {
-    paths[u].resize(n);
-    for (net::node_id v = 0; v < n; ++v) {
-      if (u == v) continue;
-      paths[u][v] = topo.shortest_path(u, v, &fabric_.links_up());
-      delay[u][v] = paths[u][v].empty()
-                        ? std::numeric_limits<double>::infinity()
-                        : topo.path_delay_s(paths[u][v]);
-    }
-  }
+  // Delays and first hops come from the fabric's incremental-SPF engine
+  // — the same live link state the old per-pair Dijkstra sweep read, but
+  // from n persistent trees instead of n^2 runs. The trees are already
+  // built after the fabric's first route install; ensure_all_trees is a
+  // no-op then (and a control-plane build when called earlier).
+  net::spf_engine& spf = fabric_.spf();
+  spf.ensure_all_trees();
 
   constexpr proto::primitive_id prims[] = {
       proto::primitive_id::p1_dot_product,
@@ -500,9 +504,9 @@ void onfiber_runtime::install_compute_routes_via_nearest_site() {
   next_hop_toward_.assign(n, std::vector<net::node_id>(n, net::invalid_node));
   for (net::node_id u = 0; u < n; ++u) {
     for (net::node_id v = 0; v < n; ++v) {
-      if (u != v && paths[u][v].size() >= 2) {
-        next_hop_toward_[u][v] = paths[u][v][1];
-      }
+      // first_hop is invalid_node when unreachable or u == v — exactly
+      // the pairs the old paths[u][v].size() >= 2 test filtered out.
+      if (u != v) next_hop_toward_[u][v] = spf.first_hop(u, v);
     }
   }
 
@@ -516,17 +520,17 @@ void onfiber_runtime::install_compute_routes_via_nearest_site() {
         double best = std::numeric_limits<double>::infinity();
         for (const net::node_id s : sites()) {
           if (!site_supports(s, p) || s == u) continue;
-          const double via = delay[u][s] + delay[s][d];
+          const double via = spf.dist(u, s) + spf.dist(s, d);
           if (via < best) {
             best = via;
             best_site = s;
           }
         }
         if (best_site == net::invalid_node) continue;
-        const auto& path = paths[u][best_site];
-        if (path.size() < 2) continue;
+        const net::node_id nh = spf.first_hop(u, best_site);
+        if (nh == net::invalid_node) continue;
         compute_tables_[u].insert_compute(topo.node_at(d).attached_prefix, p,
-                                          path[1]);
+                                          nh);
       }
     }
   }

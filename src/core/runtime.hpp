@@ -349,6 +349,13 @@ class onfiber_runtime final : public net::packet_event_sink {
 
   net::simulator& sim_;
   net::wan_fabric fabric_;
+  /// All-links-up SPF baseline over the fabric's topology: answers the
+  /// "which site would install-time routing have used?" question during
+  /// failover planning without re-running Dijkstra per timeout. Built
+  /// fully in init() and never mutated afterwards, so shard-thread
+  /// queries are pure reads (fabric_.spf() tracks *live* link state and
+  /// cannot serve as this baseline).
+  net::spf_engine baseline_spf_;
   std::vector<std::unique_ptr<site>> sites_;  // indexed by node id
   std::vector<proto::compute_routing_table<net::node_id>> compute_tables_;
   /// One delivery log / stats bucket per shard (single-writer each);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cstdio>
 #include <limits>
 #include <stdexcept>
@@ -20,6 +21,7 @@ wan_fabric::wan_fabric(simulator* sim, shard_engine* engine, topology topo)
     : sim_(sim != nullptr ? *sim : engine->primary()),
       engine_(engine),
       topo_(std::move(topo)),
+      spf_(topo_),
       tables_(topo_.node_count()),
       hooks_(topo_.node_count()),
       link_free_at_(topo_.links().size(), std::array<double, 2>{0.0, 0.0}),
@@ -28,6 +30,10 @@ wan_fabric::wan_fabric(simulator* sim, shard_engine* engine, topology topo)
       link_bytes_dir_(topo_.links().size(), std::array<double, 2>{0.0, 0.0}),
       link_up_(topo_.links().size(), true) {
   const std::size_t n = topo_.node_count();
+  // Lookup caches (addr index, pair->link map) are built now, on the
+  // construction thread: shard threads hit node_for_address and
+  // link_between, and a lazy first build over there would race.
+  topo_.prime_lookup_caches();
   // Destination resolution trie: attached prefixes are assigned by
   // topology::add_node as distinct same-length prefixes, so containment
   // identifies the owning node uniquely and matches LPM.
@@ -108,6 +114,8 @@ wan_fabric::wan_fabric(simulator* sim, shard_engine* engine, topology topo)
   obs_hops_ = &reg.get_counter("fabric.hops");
   obs_corrupted_ = &reg.get_counter("fabric.corrupted");
   obs_reconvergences_ = &reg.get_counter("fabric.reconvergences");
+  obs_routes_touched_ = &reg.get_counter("routing.routes_touched");
+  obs_reconverge_ns_ = &reg.get_histogram("routing.reconverge_ns");
   obs_drops_[0] = &reg.get_counter("fabric.drop.ttl_expired");
   obs_drops_[1] = &reg.get_counter("fabric.drop.link_down");
   obs_drops_[2] = &reg.get_counter("fabric.drop.no_route");
@@ -158,25 +166,57 @@ void wan_fabric::schedule_control(double time_s, simulator::handler fn) {
 }
 
 void wan_fabric::install_shortest_path_routes() {
+  const bool timed = obs::enabled();
+  const auto t0 = timed ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{};
   const auto n = static_cast<node_id>(topo_.node_count());
-  for (node_id src = 0; src < n; ++src) {
-    for (node_id dst = 0; dst < n; ++dst) {
-      if (src == dst) continue;
-      flat_route& flat = flat_routes_[src * n + dst];
-      const auto path = topo_.shortest_path(src, dst, &link_up_);
-      if (path.size() < 2) {
-        // Unreachable (possibly due to failures): retract any stale route.
-        tables_[src].erase(topo_.node_at(dst).attached_prefix);
+  std::uint64_t touched = 0;
+  // Write the route for one (src, dst) pair from the engine's tree.
+  // `touched` counts actual next-hop changes to the flat cache — on the
+  // patch path that is (up to no-net-change flap pairs) the dirty set.
+  const auto patch = [&](node_id src, node_id dst) {
+    if (src == dst) return;
+    flat_route& flat = flat_routes_[src * n + dst];
+    const node_id nh = spf_.first_hop(src, dst);
+    if (nh == invalid_node) {
+      // Unreachable (possibly due to failures): retract any stale route.
+      tables_[src].erase(topo_.node_at(dst).attached_prefix);
+      if (flat.next != invalid_node) {
         flat = flat_route{};
-        continue;
+        ++touched;
       }
-      tables_[src].insert(topo_.node_at(dst).attached_prefix,
-                          route_entry{path[1]});
-      flat.next = path[1];
-      flat.link = egress_matrix_[src * n + path[1]];
+      return;
     }
+    tables_[src].insert(topo_.node_at(dst).attached_prefix, route_entry{nh});
+    if (flat.next != nh) {
+      flat.next = nh;
+      flat.link = egress_matrix_[src * n + nh];
+      ++touched;
+    }
+  };
+  if (!routes_installed_) {
+    // First convergence: build every source tree (n single-source
+    // Dijkstras — already far cheaper than the seed's n^2 per-pair runs)
+    // and write the full table. From here on, shard-thread queries
+    // against the engine are pure reads.
+    spf_.ensure_all_trees();
+    spf_.clear_dirty();
+    for (node_id src = 0; src < n; ++src) {
+      for (node_id dst = 0; dst < n; ++dst) patch(src, dst);
+    }
+    routes_installed_ = true;
+  } else {
+    // Reconvergence: only routes the delta passes dirtied since the last
+    // install can differ from what is installed — patch those in place.
+    spf_.drain_dirty(patch);
   }
-  if (obs::enabled()) obs_reconvergences_->add();
+  if (timed) {
+    obs_reconvergences_->add();
+    obs_routes_touched_->add(touched);
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    obs_reconverge_ns_->observe(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()));
+  }
   // Let route-derived state upstairs (spread-steering tables) follow the
   // reconverged plane instead of chasing pre-flap first hops.
   if (on_reconverge_) on_reconverge_();
@@ -184,10 +224,16 @@ void wan_fabric::install_shortest_path_routes() {
 
 void wan_fabric::fail_link(std::size_t link_index) {
   link_up_.at(link_index) = false;
+  // Delta-repair the SPF trees now (control plane; shards parked). The
+  // datapath keeps forwarding on the stale installed routes until the
+  // next install_shortest_path_routes() — the reconvergence window —
+  // but live-path queries (failover planning) see the real state.
+  spf_.set_link_state(link_index, false);
 }
 
 void wan_fabric::restore_link(std::size_t link_index) {
   link_up_.at(link_index) = true;
+  spf_.set_link_state(link_index, true);
 }
 
 void wan_fabric::schedule_flaps(std::span<const link_flap> flaps,

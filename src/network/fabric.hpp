@@ -27,6 +27,7 @@
 #include "network/shard_engine.hpp"
 #include "network/packet.hpp"
 #include "network/routing.hpp"
+#include "network/spf.hpp"
 #include "network/topology.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -83,12 +84,16 @@ class wan_fabric final : public packet_event_sink {
 
   /// Install shortest-path (by delay) routes for every node pair,
   /// avoiding failed links. Call again after fail_link/restore_link to
-  /// reconverge. Also rebuilds the flat next-hop caches the datapath
-  /// serves converged routes from.
+  /// reconverge. The first call builds the incremental-SPF engine's
+  /// per-source trees and writes every route; later calls patch only the
+  /// routes whose first hop the engine's delta passes changed —
+  /// bit-identical tables either way (the Spf/Routing suites pin it).
   void install_shortest_path_routes();
 
   /// Take a link out of service: packets queued onto it are lost, routes
-  /// keep pointing at it until reinstalled (the reconvergence window).
+  /// keep pointing at it until reinstalled (the reconvergence window —
+  /// the SPF engine delta-updates its trees eagerly here, but the
+  /// datapath tables/caches stay stale until the install call).
   void fail_link(std::size_t link_index);
   void restore_link(std::size_t link_index);
 
@@ -171,6 +176,14 @@ class wan_fabric final : public packet_event_sink {
   }
 
   [[nodiscard]] const topology& topo() const { return topo_; }
+  /// The incremental-SPF engine tracking this fabric's link state. Its
+  /// trees always reflect the *current* link_up_ (eagerly delta-updated
+  /// by fail_link/restore_link), not the possibly stale installed
+  /// routes. Higher layers (controller failover planning, compute-route
+  /// install) query paths/delays here instead of re-running Dijkstra.
+  /// Mutations happen on the control plane only; after the first
+  /// install, shard-thread queries are pure reads.
+  [[nodiscard]] spf_engine& spf() { return spf_; }
   /// Classic mode: the driving simulator. Sharded mode: shard 0 (use
   /// engine()->run(), not sim().run(), to drive a sharded fabric).
   [[nodiscard]] simulator& sim() { return sim_; }
@@ -296,6 +309,7 @@ class wan_fabric final : public packet_event_sink {
   simulator& sim_;
   shard_engine* engine_ = nullptr;
   topology topo_;
+  spf_engine spf_;  ///< per-source SSSP trees over topo_, delta-repaired
   std::vector<routing_table<route_entry>> tables_;  // one per node
   std::vector<hook_fn> hooks_;                      // one per node (may be null)
   deliver_fn on_deliver_;
@@ -362,6 +376,8 @@ class wan_fabric final : public packet_event_sink {
   std::uint8_t recommended_ttl_ = 64;
 
   std::uint64_t reconvergences_ = 0;
+  /// First install done? Gates full-sweep vs dirty-patch reconvergence.
+  bool routes_installed_ = false;
 
   // Observability handles (resolved once; incremented only while
   // obs::enabled()). Mirrors delivered_/drops_/corrupted_ so the obs
@@ -370,6 +386,8 @@ class wan_fabric final : public packet_event_sink {
   obs::counter* obs_hops_ = nullptr;
   obs::counter* obs_corrupted_ = nullptr;
   obs::counter* obs_reconvergences_ = nullptr;
+  obs::counter* obs_routes_touched_ = nullptr;
+  obs::histogram* obs_reconverge_ns_ = nullptr;
   std::array<obs::counter*, 5> obs_drops_{};  // indexed like drop_reason-1
   /// The global tracer, resolved once: tracer::global()'s init-guard
   /// check is off the per-hop path.

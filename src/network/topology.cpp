@@ -19,6 +19,7 @@ node_id topology::add_node(std::string name) {
   n.attached_prefix = prefix(ipv4(10, high, octet, 0), 24);
   nodes_.push_back(std::move(n));
   adjacency_.emplace_back();
+  caches_valid_ = false;
   return id;
 }
 
@@ -31,13 +32,55 @@ void topology::add_link(node_id a, node_id b, double length_km,
   links_.push_back(link{a, b, length_km, capacity_bps});
   adjacency_[a].push_back(idx);
   adjacency_[b].push_back(idx);
+  caches_valid_ = false;
+}
+
+void topology::prime_lookup_caches() const { ensure_caches(); }
+
+void topology::ensure_caches() const {
+  if (caches_valid_) return;
+  pair_link_.clear();
+  pair_link_.reserve(links_.size());
+  for (std::size_t li = 0; li < links_.size(); ++li) {
+    const link& l = links_[li];
+    const std::uint64_t key =
+        (std::uint64_t{std::min(l.a, l.b)} << 32) | std::max(l.a, l.b);
+    // emplace keeps the first (lowest) link index for parallel links,
+    // matching the old first-match adjacency scan.
+    pair_link_.emplace(key, static_cast<std::uint32_t>(li));
+  }
+  addr_index_.clear();
+  for (const node& n : nodes_) {
+    const std::uint32_t mask = n.attached_prefix.mask();
+    auto it = std::find_if(addr_index_.begin(), addr_index_.end(),
+                           [mask](const auto& e) { return e.first == mask; });
+    if (it == addr_index_.end()) {
+      addr_index_.emplace_back(
+          mask, std::vector<std::pair<std::uint32_t, node_id>>{});
+      it = std::prev(addr_index_.end());
+    }
+    it->second.emplace_back(n.attached_prefix.network.value & mask, n.id);
+  }
+  for (auto& [mask, entries] : addr_index_) {
+    std::sort(entries.begin(), entries.end());
+  }
+  caches_valid_ = true;
 }
 
 std::optional<node_id> topology::node_for_address(ipv4 addr) const {
-  for (const node& n : nodes_) {
-    if (n.attached_prefix.contains(addr)) return n.id;
+  ensure_caches();
+  // Matches the old first-contains scan over nodes_: the lowest node id
+  // whose prefix covers addr, considering every distinct prefix mask.
+  std::optional<node_id> best;
+  for (const auto& [mask, entries] : addr_index_) {
+    const std::pair<std::uint32_t, node_id> probe{addr.value & mask, 0};
+    const auto it = std::lower_bound(entries.begin(), entries.end(), probe);
+    if (it != entries.end() && it->first == probe.first &&
+        (!best.has_value() || it->second < *best)) {
+      best = it->second;
+    }
   }
-  return std::nullopt;
+  return best;
 }
 
 std::vector<node_id> topology::shortest_path(
@@ -82,10 +125,17 @@ std::vector<node_id> topology::shortest_path(
 }
 
 std::size_t topology::link_between(node_id u, node_id v) const {
-  for (std::size_t li : adjacency_.at(u)) {
-    if (neighbor(u, li) == v) return li;
+  if (u >= nodes_.size() || v >= nodes_.size()) {
+    throw std::out_of_range("topology: bad node id");
   }
-  throw std::invalid_argument("topology: nodes not adjacent");
+  ensure_caches();
+  const std::uint64_t key =
+      (std::uint64_t{std::min(u, v)} << 32) | std::max(u, v);
+  const auto it = pair_link_.find(key);
+  if (it == pair_link_.end()) {
+    throw std::invalid_argument("topology: nodes not adjacent");
+  }
+  return it->second;
 }
 
 double topology::path_delay_s(const std::vector<node_id>& path) const {

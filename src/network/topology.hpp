@@ -12,6 +12,8 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "network/address.hpp"
@@ -90,13 +92,33 @@ class topology {
   /// Total one-way propagation delay along a node path [s].
   [[nodiscard]] double path_delay_s(const std::vector<node_id>& path) const;
 
- private:
-  /// Link index joining adjacent nodes u,v (throws if none).
+  /// Link index joining adjacent nodes u,v — the lowest-index link when
+  /// parallel links exist (throws if none). O(1) via the cached pair map.
   [[nodiscard]] std::size_t link_between(node_id u, node_id v) const;
+
+  /// Build the address and link-pair lookup caches now. They are
+  /// otherwise built lazily on first lookup; call this once after the
+  /// topology is final when lookups may come from multiple threads
+  /// (wan_fabric's constructor does).
+  void prime_lookup_caches() const;
+
+ private:
+  void ensure_caches() const;
 
   std::vector<node> nodes_;
   std::vector<link> links_;
   std::vector<std::vector<std::size_t>> adjacency_;
+
+  // Lookup caches, lazily built and invalidated by add_node/add_link.
+  // pair_link_ maps (min(u,v) << 32 | max(u,v)) to the lowest joining
+  // link index; addr_index_ holds, per distinct prefix mask, a sorted
+  // (masked network, node) list so node_for_address binary-searches
+  // instead of scanning every node.
+  mutable bool caches_valid_ = false;
+  mutable std::unordered_map<std::uint64_t, std::uint32_t> pair_link_;
+  mutable std::vector<
+      std::pair<std::uint32_t, std::vector<std::pair<std::uint32_t, node_id>>>>
+      addr_index_;
 };
 
 // ------------------------------------------------------- topology builders
