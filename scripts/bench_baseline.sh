@@ -3,8 +3,9 @@
 # root: kernel performance in BENCH_kernels.json (the fig2a speedup_x key
 # is the scalar-vs-fused ratio the roadmap tracks), reliability /
 # robustness numbers in BENCH_robustness.json, WAN-datapath
-# throughput in BENCH_fabric.json, and routing-plane reconvergence in
-# BENCH_controller.json. Run after perf- or reliability-relevant changes.
+# throughput in BENCH_fabric.json, routing-plane reconvergence in
+# BENCH_controller.json, and the open-loop traffic/admission sweep in
+# BENCH_traffic.json. Run after perf- or reliability-relevant changes.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -12,13 +13,14 @@ JSON_OUT="${1:-BENCH_kernels.json}"
 ROBUSTNESS_OUT="${2:-BENCH_robustness.json}"
 FABRIC_OUT="${3:-BENCH_fabric.json}"
 CONTROLLER_OUT="${4:-BENCH_controller.json}"
+TRAFFIC_OUT="${5:-BENCH_traffic.json}"
 
 cmake --preset release
 cmake --build --preset release -j"$(nproc)" --target \
   bench_fig2a_dot_product bench_fig2b_pattern_match bench_fig2c_nonlinear \
   bench_table1_ml_inference \
   bench_fig4_transponder_path bench_ext_robustness bench_ext_fabric \
-  bench_ext_spf
+  bench_ext_spf bench_ext_traffic
 
 ./build-release/bench/bench_fig2a_dot_product --json "$JSON_OUT"
 ./build-release/bench/bench_fig2b_pattern_match --json "$JSON_OUT"
@@ -28,6 +30,7 @@ cmake --build --preset release -j"$(nproc)" --target \
 ./build-release/bench/bench_ext_robustness --json "$ROBUSTNESS_OUT"
 ./build-release/bench/bench_ext_fabric --json "$FABRIC_OUT"
 ./build-release/bench/bench_ext_spf --json "$CONTROLLER_OUT"
+./build-release/bench/bench_ext_traffic --json "$TRAFFIC_OUT"
 
 # The batched-datapath keys must be present: their absence means a bench
 # binary silently skipped the batched measurement (stale build or a
@@ -91,6 +94,25 @@ for key in spf.speedup_vs_full spf.routes_touched_frac \
   fi
 done
 
+# The open-loop traffic sweep must have recorded all three load levels
+# (0.5x / 1.0x / 2.0x capacity) plus the headline keys: a missing level
+# means the sweep silently skipped a load point, and a missing headline
+# means the rollup after the sweep was dropped.
+for key in traffic.load50.offered_pps traffic.load50.goodput_pps \
+           traffic.load50.p99_completion_s \
+           traffic.load100.offered_pps traffic.load100.goodput_pps \
+           traffic.load100.p99_completion_s \
+           traffic.load200.offered_pps traffic.load200.goodput_pps \
+           traffic.load200.p99_completion_s \
+           traffic.load200.deferred traffic.load200.max_queue_depth \
+           traffic.sustained_pkts_per_s traffic.p99_completion_s \
+           traffic.capacity_pps; do
+  if ! grep -q "\"$key\"" "$TRAFFIC_OUT"; then
+    echo "bench_baseline: missing key $key in $TRAFFIC_OUT" >&2
+    exit 1
+  fi
+done
+
 # The observability plane must have merged its counters into the bench
 # reports (obs.* keys from exporter::append_flat). A missing key means a
 # bench ran with the obs spot-check phase dropped or the plane silently
@@ -116,3 +138,6 @@ cat "$FABRIC_OUT"
 echo
 echo "== $CONTROLLER_OUT =="
 cat "$CONTROLLER_OUT"
+echo
+echo "== $TRAFFIC_OUT =="
+cat "$TRAFFIC_OUT"

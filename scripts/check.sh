@@ -29,6 +29,14 @@ ONFIBER_TRACE=1 ctest --preset asan --no-tests=error \
 ONFIBER_SHARDS=4 ctest --preset asan --no-tests=error \
   -R 'Reliability|Sharded'
 
+# Traffic-plane asan gate: the open-loop workload golden traces and the
+# admission-control overload pins re-run with an extra ONFIBER_SHARDS=4
+# sweep entry under Address/UB sanitizers — the bounded site queues and
+# the per-shard arrival streams are exactly where an off-by-one in the
+# depth accounting or a cross-shard write would hide.
+ONFIBER_SHARDS=4 ctest --preset asan --no-tests=error \
+  -R 'Traffic|Admission'
+
 # Routing-plane asan gate: the incremental-SPF engine's delta passes
 # (subtree clearing, boundary reseeding, equality-tight restore fronts)
 # and the fabric's patch-based reconvergence re-run explicitly under

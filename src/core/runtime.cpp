@@ -29,6 +29,7 @@ void onfiber_runtime::init() {
   compute_tables_.resize(fabric_.topo().node_count());
   shard_deliveries_.resize(fabric_.shard_count());
   shard_stats_.resize(fabric_.shard_count());
+  shard_admission_.resize(fabric_.shard_count());
   rel_shards_.reserve(fabric_.shard_count());
   for (std::size_t i = 0; i < fabric_.shard_count(); ++i) {
     rel_shards_.push_back(std::make_unique<rel_shard>());
@@ -61,6 +62,9 @@ void onfiber_runtime::init() {
   obs_malformed_ = &reg.get_counter("runtime.malformed_dropped");
   obs_batch_flushes_ = &reg.get_counter("runtime.batch_flushes");
   obs_batched_packets_ = &reg.get_counter("runtime.batched_packets");
+  obs_adm_admitted_ = &reg.get_counter("runtime.admission.admitted");
+  obs_adm_deferred_ = &reg.get_counter("runtime.admission.deferred");
+  obs_adm_dropped_ = &reg.get_counter("runtime.admission.dropped");
   obs_rel_submitted_ = &reg.get_counter("reliability.submitted");
   obs_rel_completed_ = &reg.get_counter("reliability.completed");
   obs_rel_failed_ = &reg.get_counter("reliability.failed");
@@ -96,6 +100,29 @@ const onfiber_runtime::runtime_stats& onfiber_runtime::stats() const {
     stats_cache_.malformed_dropped += s.malformed_dropped;
   }
   return stats_cache_;
+}
+
+const onfiber_runtime::admission_stats& onfiber_runtime::admission() const {
+  admission_cache_ = admission_stats{};
+  for (const admission_stats& s : shard_admission_) {
+    admission_cache_.admitted += s.admitted;
+    admission_cache_.deferred += s.deferred;
+    admission_cache_.dropped += s.dropped;
+    admission_cache_.max_queue_depth =
+        std::max(admission_cache_.max_queue_depth, s.max_queue_depth);
+  }
+  return admission_cache_;
+}
+
+std::size_t onfiber_runtime::queue_depth_of(site& s, double now) {
+  std::deque<double>& q = s.service_done;
+  while (!q.empty() && q.front() <= now) q.pop_front();
+  return s.batch_queue.size() + q.size();
+}
+
+std::size_t onfiber_runtime::site_queue_depth(net::node_id at) {
+  if (at >= sites_.size() || !sites_[at] || !sites_[at]->engine) return 0;
+  return queue_depth_of(*sites_[at], sim_for(at).now());
 }
 
 void onfiber_runtime::rebuild_spread_tables() {
@@ -185,7 +212,10 @@ void onfiber_runtime::on_delivery(const net::packet& pkt, net::node_id at,
     ++stats_of(at).uncomputed_delivered;
     if (obs::enabled()) obs_uncomputed_->add();
   }
-  shard_deliveries_[fabric_.shard_of(at)].push_back(delivery{pkt, at, now});
+  if (record_deliveries_) {
+    shard_deliveries_[fabric_.shard_of(at)].push_back(delivery{pkt, at, now});
+  }
+  if (on_delivered_) on_delivered_(pkt, at, now);
 
   // Destination side of the reliability layer — stateless with respect
   // to the task table: the wire's flag_tracked bit identifies tracked
@@ -575,6 +605,14 @@ void onfiber_runtime::flush_site_batch(net::node_id at) {
   const double done = start + service;
   s.busy_until_s = done;
   s.total_busy_s += service;
+  // The flushed packets stay "in the site queue" until the shared analog
+  // evaluation finishes at `done`: without this, overload would park an
+  // unbounded number of full batches behind an ever-receding
+  // busy_until_s. (Defensively-dropped packets below never reach the
+  // fabric again, so they leave the queue immediately.)
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (report.computed[i]) s.service_done.push_back(done);
+  }
 
   const bool tracing = obs::enabled();
   if (tracing) {
@@ -626,6 +664,37 @@ net::hook_decision onfiber_runtime::on_packet(net::node_id at,
   // Compute here?
   if (site_supports(at, header->primitive)) {
     site& s = *sites_[at];
+    // Admission control: bound the site's compute queue (parked batch
+    // packets + admitted serial work still in service) before committing
+    // to compute here. Deferral forwards the packet raw — it may compute
+    // at a later capable hop or deliver uncomputed — so overload sheds
+    // work instead of growing memory; drop discards it at the hook.
+    // Neither path schedules events, so traces below the bound are
+    // bit-identical to the unbounded runtime.
+    if (admission_.max_site_queue > 0) {
+      const std::size_t depth = queue_depth_of(s, now);
+      if (depth >= admission_.max_site_queue) {
+        admission_stats& ad = admission_of(at);
+        ad.max_queue_depth = std::max<std::uint64_t>(ad.max_queue_depth,
+                                                     depth);
+        if (obs::enabled()) sample_site_timeline(at, s, now, depth);
+        if (admission_.policy == admission_config::overflow_policy::drop) {
+          ++ad.dropped;
+          if (obs::enabled()) obs_adm_dropped_->add();
+          return net::hook_decision{net::hook_decision::action_type::drop,
+                                    net::invalid_node};
+        }
+        ++ad.deferred;
+        if (obs::enabled()) obs_adm_deferred_->add();
+        // Mark the packet so downstream steering leaves it alone:
+        // without the flag, every node between here and the destination
+        // would redirect it straight back to this (overloaded) site.
+        proto::compute_header deferred = *header;
+        deferred.flags |= proto::flag_deferred;
+        proto::rewrite_compute_header(pkt, deferred);
+        return keep_going;
+      }
+    }
     // Site batching (opt-in): park the packet and execute everything that
     // arrives within the window as one batched engine call. Admission is
     // gated on can_process() so a queued packet can never fail compute —
@@ -633,6 +702,11 @@ net::hook_decision onfiber_runtime::on_packet(net::node_id at,
     // path below (which forwards it raw, exactly as before).
     if (batching_window_s_ > 0.0 && s.engine->can_process(pkt)) {
       s.batch_queue.push_back(std::move(pkt));
+      admission_stats& ad = admission_of(at);
+      ++ad.admitted;
+      ad.max_queue_depth = std::max<std::uint64_t>(
+          ad.max_queue_depth, s.batch_queue.size() + s.service_done.size());
+      if (obs::enabled()) obs_adm_admitted_->add();
       if (!s.flush_scheduled) {
         s.flush_scheduled = true;
         sim_for(at).schedule(batching_window_s_,
@@ -651,7 +725,13 @@ net::hook_decision onfiber_runtime::on_packet(net::node_id at,
       const double done = start + service;
       s.busy_until_s = done;
       s.total_busy_s += service;
+      s.service_done.push_back(done);
+      admission_stats& ad = admission_of(at);
+      ++ad.admitted;
+      ad.max_queue_depth = std::max<std::uint64_t>(
+          ad.max_queue_depth, s.batch_queue.size() + s.service_done.size());
       if (obs::enabled()) {
+        obs_adm_admitted_->add();
         obs_computed_->add();
         obs::hop_record r;
         r.trace_id = pkt.trace_id;
@@ -675,6 +755,11 @@ net::hook_decision onfiber_runtime::on_packet(net::node_id at,
     // normal forwarding so the destination can see the failure.
     return keep_going;
   }
+
+  // An admission-deferred packet rides the plain routes from here on:
+  // steering it (spread or compute tables) would bounce it back toward
+  // the site that just shed it, ping-ponging until the TTL expires.
+  if (header->flags & proto::flag_deferred) return keep_going;
 
   // Failover pinning: a retransmit copy the controller re-homed after
   // repeated timeouts carries its target site in the packet

@@ -15,6 +15,7 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -94,6 +95,57 @@ class onfiber_runtime final : public net::packet_event_sink {
   /// on arrival, exactly the historical behavior).
   void enable_site_batching(double window_s) {
     batching_window_s_ = window_s > 0.0 ? window_s : 0.0;
+  }
+
+  // ---------------------------------------------- admission / backpressure
+  //
+  // A site's compute queue — batch-parked packets plus serial work
+  // admitted but not yet re-injected — is bounded. Without a bound,
+  // overload grows the queue (and the event backlog behind an
+  // ever-receding busy_until_s) without limit; with one, overload
+  // degrades goodput gracefully: the overflow packet is either deferred
+  // (forwarded raw toward its destination, where it counts as
+  // uncomputed_delivered) or dropped at the hook. The check adds no
+  // events and removes none below the bound, so traces of workloads that
+  // never overflow are bit-identical to the unbounded runtime.
+  struct admission_config {
+    /// Maximum packets queued at one site (batch + in-service serial
+    /// backlog). 0 = unbounded (the historical behavior).
+    std::size_t max_site_queue = 4096;
+    enum class overflow_policy : std::uint8_t {
+      defer,  ///< skip compute here; forward the packet raw
+      drop,   ///< discard the packet (a fabric hook_drop)
+    };
+    overflow_policy policy = overflow_policy::defer;
+  };
+  void set_admission(admission_config cfg) { admission_ = cfg; }
+  [[nodiscard]] const admission_config& admission_policy() const {
+    return admission_;
+  }
+
+  struct admission_stats {
+    std::uint64_t admitted = 0;  ///< packets committed to a site queue
+    std::uint64_t deferred = 0;  ///< overflow packets forwarded raw
+    std::uint64_t dropped = 0;   ///< overflow packets discarded
+    std::uint64_t max_queue_depth = 0;  ///< high-watermark over all sites
+  };
+  /// Counters kept per shard and summed on read (max for the watermark).
+  [[nodiscard]] const admission_stats& admission() const;
+
+  /// Current compute-queue depth at `at` (0 for nodes without engines):
+  /// parked batch packets plus serial admissions still in service.
+  [[nodiscard]] std::size_t site_queue_depth(net::node_id at);
+
+  /// Delivery-log control for open-loop workloads: the per-delivery log
+  /// (deliveries()) materializes every delivered packet, which cannot
+  /// reach millions of packets. Turn it off and attach an observer —
+  /// called on the delivering shard's thread for every non-ack delivery
+  /// (aggregate per shard, e.g. net::completion_recorder).
+  void set_record_deliveries(bool on) { record_deliveries_ = on; }
+  using delivery_observer_fn =
+      std::function<void(const net::packet&, net::node_id, double)>;
+  void set_delivery_observer(delivery_observer_fn fn) {
+    on_delivered_ = std::move(fn);
   }
 
   /// Inject a packet at a node.
@@ -258,6 +310,10 @@ class onfiber_runtime final : public net::packet_event_sink {
     std::uint64_t computed = 0;
     std::vector<net::packet> batch_queue;  ///< awaiting a batched flush
     bool flush_scheduled = false;
+    /// Completion times of admitted-but-unfinished work (batch flushes
+    /// and serial computes), lazily pruned against now: together with
+    /// batch_queue this is the bounded "site queue" of admission_config.
+    std::deque<double> service_done;
   };
 
   struct pending_task {
@@ -332,6 +388,13 @@ class onfiber_runtime final : public net::packet_event_sink {
   void sample_site_timeline(net::node_id at, const site& s, double now,
                             std::size_t queue_depth) const;
 
+  /// Site queue depth with the in-service backlog pruned to `now`.
+  [[nodiscard]] static std::size_t queue_depth_of(site& s, double now);
+  /// The admission bucket mutated by `at`'s shard thread.
+  [[nodiscard]] admission_stats& admission_of(net::node_id at) {
+    return shard_admission_[fabric_.shard_of(at)];
+  }
+
   /// Per-packet fixed overhead at a compute site: optical preamble
   /// detection (17 symbols on the P2 matcher) + result insertion.
   [[nodiscard]] double site_overhead_s(const site& s) const;
@@ -364,6 +427,13 @@ class onfiber_runtime final : public net::packet_event_sink {
   std::vector<runtime_stats> shard_stats_;
   mutable std::vector<delivery> deliveries_merged_;
   mutable runtime_stats stats_cache_;
+
+  admission_config admission_{};
+  /// One bucket per shard (single-writer each); merged view on read.
+  std::vector<admission_stats> shard_admission_;
+  mutable admission_stats admission_cache_;
+  bool record_deliveries_ = true;
+  delivery_observer_fn on_delivered_;
 
   steering_policy steering_ = steering_policy::nearest_site;
   double batching_window_s_ = 0.0;  ///< 0 = per-packet compute (default)
@@ -402,6 +472,9 @@ class onfiber_runtime final : public net::packet_event_sink {
   obs::counter* obs_malformed_ = nullptr;
   obs::counter* obs_batch_flushes_ = nullptr;
   obs::counter* obs_batched_packets_ = nullptr;
+  obs::counter* obs_adm_admitted_ = nullptr;
+  obs::counter* obs_adm_deferred_ = nullptr;
+  obs::counter* obs_adm_dropped_ = nullptr;
   obs::counter* obs_rel_submitted_ = nullptr;
   obs::counter* obs_rel_completed_ = nullptr;
   obs::counter* obs_rel_failed_ = nullptr;

@@ -41,12 +41,20 @@ arrival traffic_generator::next_arrival(double at) {
   return a;
 }
 
+arrival traffic_generator::next() {
+  clock_ += gen_.exponential(config_.packet_rate_pps);
+  return next_arrival(clock_);
+}
+
 std::vector<arrival> traffic_generator::generate(double horizon_s) {
   std::vector<arrival> out;
-  double t = gen_.exponential(config_.packet_rate_pps);
-  while (t < horizon_s) {
-    out.push_back(next_arrival(t));
-    t += gen_.exponential(config_.packet_rate_pps);
+  // Gap-first draw order: the final gap (the one that crosses the horizon)
+  // is consumed but its arrival draws are not — the exact draw sequence of
+  // the historical batch implementation, so outputs stay byte-identical.
+  for (;;) {
+    clock_ += gen_.exponential(config_.packet_rate_pps);
+    if (!(clock_ < horizon_s)) break;
+    out.push_back(next_arrival(clock_));
   }
   return out;
 }
@@ -54,11 +62,7 @@ std::vector<arrival> traffic_generator::generate(double horizon_s) {
 std::vector<arrival> traffic_generator::generate_count(std::size_t n) {
   std::vector<arrival> out;
   out.reserve(n);
-  double t = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    out.push_back(next_arrival(t));
-    t += gen_.exponential(config_.packet_rate_pps);
-  }
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next());
   return out;
 }
 

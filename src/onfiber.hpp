@@ -41,6 +41,7 @@
 #include "network/stats.hpp"
 #include "network/topology.hpp"
 #include "network/traffic.hpp"
+#include "network/workload.hpp"
 
 // compute-communication protocol (paper §3)
 #include "protocol/codec.hpp"

@@ -52,6 +52,11 @@ enum header_flags : std::uint8_t {
   flag_ack = 0x10,  ///< end-to-end delivery ack (reliability layer); the
                     ///< header is the whole message, task_id names the
                     ///< acknowledged task
+  flag_deferred = 0x40,  ///< a site's admission control deferred this
+                         ///< packet (queue at the bound): it forwards
+                         ///< raw and must not be steered back toward
+                         ///< compute sites — it may still compute at a
+                         ///< capable site it happens to transit
   flag_tracked = 0x20,  ///< reliability layer tracks this task: the
                         ///< destination acks every result delivery and
                         ///< counts duplicates from the wire bit alone —
